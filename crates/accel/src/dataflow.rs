@@ -1,0 +1,198 @@
+//! The multifunction interface: Table I functions, micro-instructions
+//! and the per-function dataflow descriptions of Fig 14.
+
+use rbd_spatial::MatN;
+use std::fmt;
+
+/// The rigid-body dynamics functions of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FunctionKind {
+    /// Inverse dynamics `τ = ID(q, q̇, q̈, f_ext)`.
+    Id,
+    /// Forward dynamics `q̈ = FD(q, q̇, τ, f_ext)`.
+    Fd,
+    /// Mass matrix `M = M(q)`.
+    MassMatrix,
+    /// Inverse mass matrix `M⁻¹ = Minv(q)`.
+    MassMatrixInverse,
+    /// Derivatives of inverse dynamics `∂_u τ`.
+    DId,
+    /// Derivatives of forward dynamics `∂_u q̈`.
+    DFd,
+    /// Derivatives of dynamics given `M⁻¹` (`∂_u q̈`, Robomorphic's
+    /// function).
+    DiFd,
+}
+
+impl FunctionKind {
+    /// All functions, in Table I order.
+    pub fn all() -> [FunctionKind; 7] {
+        [
+            Self::Id,
+            Self::Fd,
+            Self::MassMatrix,
+            Self::MassMatrixInverse,
+            Self::DId,
+            Self::DFd,
+            Self::DiFd,
+        ]
+    }
+
+    /// The six Fig 15 evaluation functions (ΔiFD is benchmarked
+    /// separately in Fig 16).
+    pub fn fig15() -> [FunctionKind; 6] {
+        [
+            Self::Id,
+            Self::Fd,
+            Self::MassMatrix,
+            Self::MassMatrixInverse,
+            Self::DId,
+            Self::DFd,
+        ]
+    }
+
+    /// Paper-style short name.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Self::Id => "ID",
+            Self::Fd => "FD",
+            Self::MassMatrix => "M",
+            Self::MassMatrixInverse => "Minv",
+            Self::DId => "dID",
+            Self::DFd => "dFD",
+            Self::DiFd => "diFD",
+        }
+    }
+}
+
+impl fmt::Display for FunctionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+/// Micro-instructions (`inst`) driving the dataflow switches (§V-B3).
+/// A host-level `type` (one [`FunctionKind`]) is translated into a
+/// sequence of these during its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// Run the Forward-Backward module in RNEA mode.
+    FbRnea,
+    /// Run the Forward-Backward module with the ΔRNEA array active.
+    FbDelta,
+    /// Run the Backward-Forward module (`outM`, `outMinv` flags).
+    Bf {
+        /// Emit the mass matrix.
+        out_m: bool,
+        /// Emit the inverse mass matrix.
+        out_minv: bool,
+    },
+    /// Schedule-module matrix product `A(x-y)` (Fig 9c).
+    SchedMatVec,
+    /// Feedback: requeue intermediate results as a new internal task.
+    Feedback,
+    /// Encode and emit outputs.
+    Emit,
+}
+
+/// The micro-instruction program for a function (Fig 14 dataflows).
+pub fn microprogram(f: FunctionKind) -> Vec<Inst> {
+    use Inst::*;
+    match f {
+        FunctionKind::Id => vec![FbRnea, Emit],
+        FunctionKind::MassMatrix => vec![
+            Bf {
+                out_m: true,
+                out_minv: false,
+            },
+            Emit,
+        ],
+        FunctionKind::MassMatrixInverse => vec![
+            Bf {
+                out_m: false,
+                out_minv: true,
+            },
+            Emit,
+        ],
+        FunctionKind::Fd => vec![
+            FbRnea,
+            Bf {
+                out_m: false,
+                out_minv: true,
+            },
+            SchedMatVec,
+            Emit,
+        ],
+        FunctionKind::DId => vec![FbRnea, FbDelta, Emit],
+        FunctionKind::DiFd => vec![FbRnea, FbDelta, SchedMatVec, Emit],
+        FunctionKind::DFd => vec![
+            // Stage 1: FD (C via FB, M⁻¹ via BF, q̈ via the matvec unit).
+            FbRnea,
+            Bf {
+                out_m: false,
+                out_minv: true,
+            },
+            SchedMatVec,
+            Feedback,
+            // Stage 2: ΔID at the computed q̈ (FB used a second time).
+            FbRnea,
+            FbDelta,
+            Feedback,
+            // Stage 3: ∂q̈ = -M⁻¹ ∂τ.
+            SchedMatVec,
+            Emit,
+        ],
+    }
+}
+
+/// Outputs of a functional run — any subset may be populated depending
+/// on the function (the Encode module "selects and combines" them,
+/// §V-B).
+#[derive(Debug, Clone, Default)]
+pub struct FunctionOutput {
+    /// Joint torques (ID).
+    pub tau: Vec<f64>,
+    /// Joint accelerations (FD).
+    pub qdd: Vec<f64>,
+    /// Mass matrix.
+    pub m: Option<MatN>,
+    /// Inverse mass matrix (also emitted optionally by ΔFD).
+    pub minv: Option<MatN>,
+    /// `∂τ/∂q` / `∂τ/∂q̇` (ΔID).
+    pub dtau: Option<(MatN, MatN)>,
+    /// `∂q̈/∂q` / `∂q̈/∂q̇` (ΔFD / ΔiFD).
+    pub dqdd: Option<(MatN, MatN)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_function_has_a_program_ending_in_emit() {
+        for f in FunctionKind::all() {
+            let p = microprogram(f);
+            assert!(!p.is_empty());
+            assert_eq!(*p.last().unwrap(), Inst::Emit, "{f}");
+        }
+    }
+
+    #[test]
+    fn dfd_uses_fb_twice_with_feedback() {
+        let p = microprogram(FunctionKind::DFd);
+        let fb_count = p
+            .iter()
+            .filter(|i| matches!(i, Inst::FbRnea | Inst::FbDelta))
+            .count();
+        assert!(fb_count >= 3, "ΔFD re-enters the FB module");
+        assert!(p.contains(&Inst::Feedback));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(FunctionKind::DiFd.short_name(), "diFD");
+        assert_eq!(FunctionKind::MassMatrixInverse.to_string(), "Minv");
+        assert_eq!(FunctionKind::all().len(), 7);
+        assert_eq!(FunctionKind::fig15().len(), 6);
+    }
+}

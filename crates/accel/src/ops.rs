@@ -1,0 +1,301 @@
+//! Operation-count models for every submodule, derived from the same
+//! sparsity/constant analysis the paper performs on the per-joint
+//! matrices (Fig 6b: 8 distinct products in `X_n`, 8 non-zero constants
+//! in `I_n`, one-hot `S_n`; Fig 7b/c: incremental columns; Fig 8b:
+//! symmetric `I^A` with priority vectors).
+
+use rbd_model::JointType;
+
+/// Fixed-point multiply/add/special-function counts of one submodule
+/// activation (one task through one pipeline stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCount {
+    /// Multiplications (map to DSP slices).
+    pub mul: usize,
+    /// Additions/subtractions (map to LUT fabric).
+    pub add: usize,
+    /// Trigonometric evaluations (Taylor pipelines).
+    pub trig: usize,
+    /// Reciprocals (fixed↔float converter units).
+    pub recip: usize,
+}
+
+impl OpCount {
+    /// Element-wise sum.
+    pub fn plus(self, r: OpCount) -> OpCount {
+        OpCount {
+            mul: self.mul + r.mul,
+            add: self.add + r.add,
+            trig: self.trig + r.trig,
+            recip: self.recip + r.recip,
+        }
+    }
+
+    /// Scales all counts (e.g. per-column costs).
+    pub fn times(self, k: usize) -> OpCount {
+        OpCount {
+            mul: self.mul * k,
+            add: self.add * k,
+            trig: self.trig * k,
+            recip: self.recip * k,
+        }
+    }
+}
+
+/// Cost of updating the joint transform `X_i(q, sin q, cos q)`
+/// (§IV-A1/A2: 12 non-constant elements from 8 products for a revolute
+/// joint; recomputed rather than transferred in backward submodules).
+pub fn xform_update(jt: &JointType) -> OpCount {
+    match jt {
+        JointType::Revolute(_) => OpCount {
+            mul: 8,
+            add: 4,
+            ..Default::default()
+        },
+        JointType::Prismatic(_) => OpCount {
+            mul: 3,
+            add: 3,
+            ..Default::default()
+        },
+        JointType::Planar => OpCount {
+            mul: 10,
+            add: 6,
+            ..Default::default()
+        },
+        JointType::Spherical => OpCount {
+            mul: 16,
+            add: 12,
+            ..Default::default()
+        },
+        JointType::Translation3 => OpCount {
+            add: 3,
+            ..Default::default()
+        },
+        JointType::Floating => OpCount {
+            mul: 20,
+            add: 15,
+            ..Default::default()
+        },
+    }
+}
+
+/// Sparse Plücker motion/force transform of one 6-vector
+/// (rotation 2×9 mults + translation cross 6 — the top-right-zero
+/// structure of §II).
+pub const XFORM_APPLY: OpCount = OpCount {
+    mul: 24,
+    add: 18,
+    trig: 0,
+    recip: 0,
+};
+
+/// Spatial cross product (`×` or `×*`): three 3-D crosses.
+pub const SPATIAL_CROSS: OpCount = OpCount {
+    mul: 18,
+    add: 9,
+    trig: 0,
+    recip: 0,
+};
+
+/// Sparse symmetric inertia application `I·v` (8 distinct constants).
+pub const INERTIA_APPLY: OpCount = OpCount {
+    mul: 20,
+    add: 14,
+    trig: 0,
+    recip: 0,
+};
+
+/// `Rf_i` — RNEA forward submodule (Fig 6b): update `X`, compute
+/// `v, a, f`.
+pub fn rf_cost(jt: &JointType) -> OpCount {
+    let ni = jt.nv();
+    xform_update(jt)
+        .plus(XFORM_APPLY.times(2)) // X v_λ and X a_λ
+        .plus(SPATIAL_CROSS.times(2)) // v × S q̇ and v ×* (I v)
+        .plus(INERTIA_APPLY.times(2)) // I a and I v
+        .plus(OpCount {
+            mul: 2 * ni, // S q̇, S q̈ scaling
+            add: 12 + 2 * ni,
+            ..Default::default()
+        })
+}
+
+/// `Rb_i` — RNEA backward submodule: re-update `X` (§IV-A2), project
+/// `τ = Sᵀ f`, transform the force to the parent.
+pub fn rb_cost(jt: &JointType) -> OpCount {
+    let ni = jt.nv();
+    xform_update(jt).plus(XFORM_APPLY).plus(OpCount {
+        mul: ni, // one-hot Sᵀ f is free for revolute; general ni dot rows
+        add: 6 + ni,
+        ..Default::default()
+    })
+}
+
+/// `Df_i` — ΔRNEA forward submodule at ancestor-column count `ncols`
+/// (§IV-A4: work grows with the incremental columns; Fig 7c).
+///
+/// Per column: `∂v` (1 cross), `∂a` (3 crosses), `∂f` (2 inertia ops +
+/// 2 crosses), plus the per-joint base (transform updates, new-column
+/// initialisation).
+pub fn df_cost(jt: &JointType, ncols: usize) -> OpCount {
+    let per_col = SPATIAL_CROSS
+        .times(6)
+        .plus(INERTIA_APPLY.times(2))
+        .plus(OpCount {
+            add: 24,
+            ..Default::default()
+        });
+    xform_update(jt)
+        .plus(per_col.times(ncols.max(1)))
+        .plus(OpCount {
+            mul: 12,
+            add: 12,
+            ..Default::default()
+        })
+}
+
+/// `Db_i` — ΔRNEA backward submodule: per column, one force transform
+/// plus the `∂τ` row dot products.
+pub fn db_cost(jt: &JointType, ncols: usize) -> OpCount {
+    let ni = jt.nv();
+    xform_update(jt).plus(
+        XFORM_APPLY
+            .plus(OpCount {
+                mul: 6 * ni,
+                add: 6 * ni + 6,
+                ..Default::default()
+            })
+            .times(ncols.max(1)),
+    )
+}
+
+/// `Mb_i` — MMinvGen backward submodule with `ncols` live subtree
+/// columns (Fig 8b): lazy `I^A` update with priority vectors
+/// (symmetric 6×6 congruence ≈ 2 sparse 6×6·6×6 with symmetry), `U`,
+/// `D`, `D⁻¹` (reciprocal unit), per-column `F` updates and transforms.
+pub fn mb_cost(jt: &JointType, ncols: usize) -> OpCount {
+    let ni = jt.nv();
+    let congruence = OpCount {
+        mul: 216, // symmetric 6×6 congruence, upper triangle only
+        add: 180,
+        ..Default::default()
+    };
+    let per_col = XFORM_APPLY.plus(OpCount {
+        mul: 6 * ni + ni, // U·Minv update + Sᵀ F dot
+        add: 6 * ni + ni,
+        ..Default::default()
+    });
+    xform_update(jt)
+        .plus(congruence)
+        .plus(per_col.times(ncols.max(1)))
+        .plus(OpCount {
+            mul: 6 * ni + ni * ni + 36, // U = I^A S, D, U D⁻¹ Uᵀ rank-ni update
+            add: 30 + ni * ni,
+            recip: ni, // D⁻¹ via fixed↔float reciprocal (§IV-B2)
+            ..Default::default()
+        })
+}
+
+/// `Mf_i` — MMinvGen forward submodule with `ncols` trailing columns:
+/// per column a motion transform, the `D⁻¹Uᵀ` correction and the `P`
+/// update.
+pub fn mf_cost(jt: &JointType, ncols: usize) -> OpCount {
+    let ni = jt.nv();
+    let per_col = XFORM_APPLY.plus(OpCount {
+        mul: 6 * ni + ni * ni + 6 * ni,
+        add: 6 * ni + ni * ni + 6 * ni,
+        ..Default::default()
+    });
+    xform_update(jt).plus(per_col.times(ncols.max(1)))
+}
+
+/// Global Trigonometric Module: one Taylor `sin`/`cos` pair per
+/// trig-using DOF (7-term Horner, §V-B2).
+pub fn trig_cost(jt: &JointType) -> OpCount {
+    if jt.uses_trig() {
+        OpCount {
+            mul: 14,
+            add: 14,
+            trig: 1,
+            ..Default::default()
+        }
+    } else {
+        OpCount::default()
+    }
+}
+
+/// Schedule-module matrix-vector product `A(x - y)` with symmetric `A`
+/// (Fig 9c): `n(n+1)/2` distinct products per column.
+pub fn sym_matvec_cost(n: usize) -> OpCount {
+    OpCount {
+        mul: n * (n + 1) / 2 + n,
+        add: n * n,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revolute_rf_cost_matches_paper_scale() {
+        // The Fig 6b analysis puts a revolute forward submodule near 130
+        // multiplies; the model should be in that neighbourhood.
+        let c = rf_cost(&JointType::revolute_z());
+        assert!((100..170).contains(&c.mul), "mul = {}", c.mul);
+    }
+
+    #[test]
+    fn backward_cheaper_than_forward() {
+        // §IV-A2: "the forward submodules are more complex than the
+        // backward submodules".
+        let jt = JointType::revolute_z();
+        assert!(rb_cost(&jt).mul < rf_cost(&jt).mul);
+    }
+
+    #[test]
+    fn df_cost_grows_linearly_with_depth() {
+        // Fig 7c: resource usage of ΔRNEA fwd submodules grows ~linearly
+        // with the level.
+        let jt = JointType::revolute_z();
+        let c: Vec<usize> = (1..=7).map(|d| df_cost(&jt, d).mul).collect();
+        for w in c.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        let slope1 = c[1] - c[0];
+        let slope6 = c[6] - c[5];
+        assert_eq!(slope1, slope6, "linear growth expected");
+    }
+
+    #[test]
+    fn prismatic_needs_no_trig() {
+        assert_eq!(trig_cost(&JointType::prismatic_z()).trig, 0);
+        assert_eq!(trig_cost(&JointType::revolute_x()).trig, 1);
+    }
+
+    #[test]
+    fn mb_includes_reciprocal() {
+        assert_eq!(mb_cost(&JointType::revolute_z(), 3).recip, 1);
+        assert_eq!(mb_cost(&JointType::Floating, 1).recip, 6);
+    }
+
+    #[test]
+    fn opcount_algebra() {
+        let a = OpCount {
+            mul: 2,
+            add: 3,
+            trig: 1,
+            recip: 0,
+        };
+        let s = a.plus(a).times(2);
+        assert_eq!(s.mul, 8);
+        assert_eq!(s.add, 12);
+        assert_eq!(s.trig, 4);
+    }
+
+    #[test]
+    fn sym_matvec_scales_quadratically() {
+        assert!(sym_matvec_cost(14).mul > 2 * sym_matvec_cost(7).mul);
+    }
+}

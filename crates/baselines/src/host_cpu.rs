@@ -1,0 +1,183 @@
+//! Real host-CPU measurements of the `rbd-dynamics` kernels — the live
+//! counterpart of the paper's Pinocchio baselines, used by Fig 2 and as
+//! a sanity check that the modelled cost ratios between functions are
+//! real.
+
+use rbd_accel::FunctionKind;
+use rbd_dynamics::{
+    fd_derivatives, forward_dynamics, mminv_gen, rnea, rnea_derivatives, DynamicsWorkspace,
+};
+use rbd_model::{random_state, RobotModel};
+use std::time::Instant;
+
+/// One measurement result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostMeasurement {
+    /// Total wall time, seconds.
+    pub seconds: f64,
+    /// Tasks executed.
+    pub tasks: u64,
+}
+
+impl HostMeasurement {
+    /// Seconds per task.
+    pub fn latency_s(&self) -> f64 {
+        self.seconds / self.tasks as f64
+    }
+
+    /// Tasks per second.
+    pub fn throughput(&self) -> f64 {
+        self.tasks as f64 / self.seconds
+    }
+}
+
+/// Executes one function once (workload body shared by all harnesses).
+fn run_once(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    f: FunctionKind,
+    q: &[f64],
+    qd: &[f64],
+    u: &[f64],
+) {
+    match f {
+        FunctionKind::Id => {
+            let t = rnea(model, ws, q, qd, u, None);
+            std::hint::black_box(t);
+        }
+        FunctionKind::Fd => {
+            let a = forward_dynamics(model, ws, q, qd, u, None).expect("fd");
+            std::hint::black_box(a);
+        }
+        FunctionKind::MassMatrix => {
+            let m = mminv_gen(model, ws, q, true, false).expect("m");
+            std::hint::black_box(m);
+        }
+        FunctionKind::MassMatrixInverse => {
+            let m = mminv_gen(model, ws, q, false, true).expect("minv");
+            std::hint::black_box(m);
+        }
+        FunctionKind::DId => {
+            let d = rnea_derivatives(model, ws, q, qd, u, None);
+            std::hint::black_box(d);
+        }
+        FunctionKind::DFd | FunctionKind::DiFd => {
+            let d = fd_derivatives(model, ws, q, qd, u, None).expect("dfd");
+            std::hint::black_box(d);
+        }
+    }
+}
+
+/// Measures `batch` tasks of `f` on `threads` OS threads (the paper's
+/// multi-threaded throughput methodology; `threads == 1` gives the
+/// latency methodology).
+pub fn measure_function(
+    model: &RobotModel,
+    f: FunctionKind,
+    batch: usize,
+    threads: usize,
+    repeats: usize,
+) -> HostMeasurement {
+    let threads = threads.max(1);
+    let states: Vec<_> = (0..batch.max(1))
+        .map(|i| random_state(model, i as u64))
+        .collect();
+    let u: Vec<f64> = (0..model.nv()).map(|k| 0.2 * (k % 3) as f64 - 0.1).collect();
+
+    let start = Instant::now();
+    for _ in 0..repeats.max(1) {
+        if threads == 1 {
+            let mut ws = DynamicsWorkspace::new(model);
+            for s in &states {
+                run_once(model, &mut ws, f, &s.q, &s.qd, &u);
+            }
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let chunk = states.len().div_ceil(threads);
+                for part in states.chunks(chunk) {
+                    let u = &u;
+                    scope.spawn(move |_| {
+                        let mut ws = DynamicsWorkspace::new(model);
+                        for s in part {
+                            run_once(model, &mut ws, f, &s.q, &s.qd, u);
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked");
+        }
+    }
+    HostMeasurement {
+        seconds: start.elapsed().as_secs_f64(),
+        tasks: (batch.max(1) * repeats.max(1)) as u64,
+    }
+}
+
+/// Thread-scaling curve (relative time vs thread count) for the Fig 2b
+/// reproduction: returns `(threads, relative_time)` with 1 thread = 1.0.
+pub fn thread_scaling(
+    model: &RobotModel,
+    f: FunctionKind,
+    batch: usize,
+    thread_counts: &[usize],
+    repeats: usize,
+) -> Vec<(usize, f64)> {
+    let base = measure_function(model, f, batch, 1, repeats).seconds;
+    thread_counts
+        .iter()
+        .map(|&t| {
+            let m = measure_function(model, f, batch, t, repeats);
+            (t, m.seconds / base)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_model::robots;
+
+    #[test]
+    fn measurement_counts_tasks() {
+        let m = robots::iiwa();
+        let r = measure_function(&m, FunctionKind::Id, 32, 1, 2);
+        assert_eq!(r.tasks, 64);
+        assert!(r.seconds > 0.0);
+        assert!(r.latency_s() > 0.0);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn derivatives_slower_than_id_on_host() {
+        let m = robots::iiwa();
+        let id = measure_function(&m, FunctionKind::Id, 64, 1, 4);
+        let dfd = measure_function(&m, FunctionKind::DFd, 64, 1, 4);
+        assert!(
+            dfd.latency_s() > 2.0 * id.latency_s(),
+            "dFD {} vs ID {}",
+            dfd.latency_s(),
+            id.latency_s()
+        );
+    }
+
+    #[test]
+    fn multithreading_does_not_slow_down_large_batches() {
+        // Meaningful only with real parallelism available.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores < 2 {
+            return;
+        }
+        let m = robots::hyq();
+        let t1 = measure_function(&m, FunctionKind::DId, 256, 1, 2);
+        let t4 = measure_function(&m, FunctionKind::DId, 256, cores.min(4), 2);
+        // Allow generous slack for CI noise; threads should at least not
+        // be slower than single-threaded.
+        assert!(
+            t4.seconds < t1.seconds * 1.2,
+            "{}T {} vs 1T {}",
+            cores.min(4),
+            t4.seconds,
+            t1.seconds
+        );
+    }
+}

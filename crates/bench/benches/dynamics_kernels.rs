@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the reference dynamics kernels on the
+//! three evaluation robots — the live host-CPU counterpart of the
+//! paper's Pinocchio baseline (Fig 15's CPU bars).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rbd_dynamics::{
+    aba, crba, fd_derivatives, forward_dynamics, mminv_gen, rnea, rnea_derivatives,
+    DynamicsWorkspace,
+};
+use rbd_model::{random_state, robots};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(12);
+    for model in robots::paper_robots() {
+        let name = model.name().to_string();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 1);
+        let nv = model.nv();
+        let qdd: Vec<f64> = (0..nv).map(|k| 0.1 * k as f64 - 0.2).collect();
+        let tau: Vec<f64> = (0..nv).map(|k| 0.5 - 0.05 * k as f64).collect();
+
+        group.bench_function(BenchmarkId::new("ID_rnea", &name), |b| {
+            b.iter(|| rnea(&model, &mut ws, &s.q, &s.qd, &qdd, None))
+        });
+        group.bench_function(BenchmarkId::new("FD_minv_path", &name), |b| {
+            b.iter(|| forward_dynamics(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("FD_aba", &name), |b| {
+            b.iter(|| aba(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("M_crba", &name), |b| {
+            b.iter(|| crba(&model, &mut ws, &s.q))
+        });
+        group.bench_function(BenchmarkId::new("Minv_mminvgen", &name), |b| {
+            b.iter(|| mminv_gen(&model, &mut ws, &s.q, false, true).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("dID", &name), |b| {
+            b.iter(|| rnea_derivatives(&model, &mut ws, &s.q, &s.qd, &qdd, None))
+        });
+        group.bench_function(BenchmarkId::new("dFD", &name), |b| {
+            b.iter(|| fd_derivatives(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the spatial-algebra substrate (the inner
+//! loops every dynamics kernel is built from) and of the fixed-point
+//! datapath primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rbd_fixed::{fast_reciprocal, trig, Q32};
+use rbd_spatial::{ForceVec, Mat6, MatN, MotionVec, SpatialInertia, Vec3, Xform};
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(12);
+    let x = Xform::rot_axis(Vec3::new(0.2, 0.5, 0.8).normalized(), 0.7)
+        .with_translation(Vec3::new(0.1, -0.2, 0.3));
+    let v = MotionVec::from_slice(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+    let f = ForceVec::from_slice(&[0.6, 0.5, 0.4, 0.3, 0.2, 0.1]);
+    let inertia = SpatialInertia::from_mass_com_inertia(
+        2.5,
+        Vec3::new(0.02, -0.01, 0.1),
+        rbd_spatial::Mat3::diagonal(Vec3::new(0.05, 0.06, 0.02)),
+    );
+
+    group.bench_function("xform_apply_motion", |b| b.iter(|| x.apply_motion(&v)));
+    group.bench_function("xform_inv_apply_force", |b| b.iter(|| x.inv_apply_force(&f)));
+    group.bench_function("cross_motion", |b| b.iter(|| v.cross_motion(&v)));
+    group.bench_function("inertia_apply", |b| b.iter(|| inertia.mul_motion(&v)));
+    group.bench_function("inertia_transform", |b| {
+        b.iter(|| inertia.transform_to_parent(&x))
+    });
+    group.bench_function("mat6_congruence", |b| {
+        let i6 = inertia.to_mat6();
+        let x6 = Mat6::from_xform_motion(&x);
+        b.iter(|| i6.congruence(&x6))
+    });
+    group.bench_function("matn_ldlt_18", |b| {
+        let a = MatN::from_fn(18, 18, |i, j| if i == j { 20.0 } else { 1.0 / (1.0 + (i + j) as f64) });
+        b.iter(|| a.ldlt().unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fixed");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(12);
+    group.bench_function("taylor_sincos", |b| b.iter(|| trig::sin_cos(1.234)));
+    group.bench_function("fast_reciprocal", |b| b.iter(|| fast_reciprocal(3.14159)));
+    group.bench_function("q32_mul", |b| {
+        let x = Q32::from_f64(1.375);
+        let y = Q32::from_f64(-2.5);
+        b.iter(|| x * y)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spatial);
+criterion_main!(benches);

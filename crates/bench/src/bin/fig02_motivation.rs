@@ -1,0 +1,125 @@
+//! Fig 2 — motivation study: (b) multi-thread scaling of the robot MPC
+//! workload saturates; (c) the LQ approximation (dynamics + derivatives)
+//! dominates the iteration and the derivatives of dynamics alone are a
+//! large share (paper: 23.61%).
+//!
+//! Run with `--release`; the measurement is live on the host CPU.
+
+use rbd_accel::FunctionKind;
+use rbd_baselines::thread_scaling;
+#[allow(unused_imports)]
+use rbd_baselines::{DeviceKind, DeviceModel};
+use rbd_bench::{bar, print_table};
+use rbd_model::robots;
+use rbd_trajopt::profile_mpc_iteration;
+
+fn main() {
+    let model = robots::quadruped_arm();
+
+    // ---- Fig 2b: relative time vs threads for the batched LQ tasks.
+    // (a) modelled on the paper's 12-core AGX Orin with its memory
+    //     contention curve;
+    let devices = rbd_baselines::paper_devices();
+    let agx = &devices[0];
+    let w = rbd_baselines::function_work(&model, FunctionKind::DFd);
+    let counts = [1usize, 2, 4, 6, 8, 10, 12];
+    let base = {
+        let one = rbd_baselines::DeviceModel {
+            name: "1T",
+            kind: match agx.kind {
+                rbd_baselines::DeviceKind::Cpu {
+                    single_thread_gops,
+                    contention,
+                    call_overhead_s,
+                    ..
+                } => rbd_baselines::DeviceKind::Cpu {
+                    single_thread_gops,
+                    cores: 1,
+                    contention,
+                    call_overhead_s,
+                },
+                k => k,
+            },
+        };
+        one.batch_time_s(&w, 192)
+    };
+    let mut rows = Vec::new();
+    for &t in &counts {
+        let dev = rbd_baselines::DeviceModel {
+            name: "scaled",
+            kind: match agx.kind {
+                rbd_baselines::DeviceKind::Cpu {
+                    single_thread_gops,
+                    contention,
+                    call_overhead_s,
+                    ..
+                } => rbd_baselines::DeviceKind::Cpu {
+                    single_thread_gops,
+                    cores: t,
+                    contention,
+                    call_overhead_s,
+                },
+                k => k,
+            },
+        };
+        let rel = dev.batch_time_s(&w, 192) / base;
+        rows.push(vec![t.to_string(), format!("{rel:.3}"), bar(rel, 1.0, 40)]);
+    }
+    print_table(
+        "Fig 2b (modelled AGX Orin, 12 cores) — relative time vs threads",
+        &["threads", "relative time", ""],
+        &rows,
+    );
+    let achieved: f64 = rows.last().unwrap()[1].parse().unwrap();
+    println!(
+        "at 12 threads the modelled speedup is {:.1}x (ideal: 12x) —\n\
+         the Fig 2b saturation.",
+        1.0 / achieved
+    );
+
+    // (b) live on this host (core count permitting).
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let live_counts: Vec<usize> = counts.iter().copied().filter(|&t| t <= host_cores.max(1)).collect();
+    let scaling = thread_scaling(&model, FunctionKind::DFd, 96, &live_counts, 2);
+    let rows: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|(t, rel)| vec![t.to_string(), format!("{rel:.3}"), bar(*rel, 1.0, 40)])
+        .collect();
+    print_table(
+        &format!("Fig 2b (live, this host: {host_cores} core(s)) — relative time vs threads"),
+        &["threads", "relative time", ""],
+        &rows,
+    );
+
+    // ---- Fig 2c: task breakdown of one MPC iteration.
+    let p = profile_mpc_iteration(&model, 64);
+    let total = p.total_s();
+    let rows = vec![
+        vec![
+            "LQ approximation (parallelizable)".to_string(),
+            format!("{:.1}%", 100.0 * p.lq_approx_s / total),
+            bar(p.lq_approx_s, total, 40),
+        ],
+        vec![
+            "  of which: derivatives of dynamics".to_string(),
+            format!("{:.1}%", 100.0 * p.derivatives_s / total),
+            bar(p.derivatives_s, total, 40),
+        ],
+        vec![
+            "backward solver (serial)".to_string(),
+            format!("{:.1}%", 100.0 * p.solver_s / total),
+            bar(p.solver_s, total, 40),
+        ],
+        vec![
+            "rollout / other".to_string(),
+            format!("{:.1}%", 100.0 * p.other_s / total),
+            bar(p.other_s, total, 40),
+        ],
+    ];
+    print_table(
+        "Fig 2c — task breakdown of one MPC iteration (quadruped + arm)",
+        &["task class", "share", ""],
+        &rows,
+    );
+    println!("paper anchor: derivatives of dynamics = 23.61% of the application.");
+}

@@ -1,0 +1,64 @@
+//! Fig 11 — Structure-Adaptive Pipeline organisation for the three
+//! discussion robots: Tiago (linear), Spot-arm (quadruped + arm, merged
+//! symmetric legs) and Atlas (humanoid, re-rooted torso).
+
+use rbd_accel::SapLayout;
+use rbd_bench::print_table;
+use rbd_model::robots;
+
+fn describe(model: &rbd_model::RobotModel, auto_reroot: bool) {
+    let layout = SapLayout::build(model, auto_reroot);
+    println!(
+        "\n### {} — root: {} | topology depth {} | {} physical bodies → {} hw stages",
+        model.name(),
+        model.body_name(layout.root_body),
+        layout.max_depth,
+        model.num_bodies(),
+        layout.hw_stage_count(),
+    );
+    let rows: Vec<Vec<String>> = layout
+        .branches
+        .iter()
+        .enumerate()
+        .map(|(k, b)| {
+            vec![
+                format!("branch {}", k + 1),
+                b.bodies
+                    .iter()
+                    .map(|&id| model.body_name(id).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" → "),
+                format!("x{}", b.multiplex),
+            ]
+        })
+        .collect();
+    print_table(
+        "hardware branch arrays",
+        &["array", "stages (root → leaf)", "time-mux"],
+        &rows,
+    );
+}
+
+fn main() {
+    // (a) Tiago: linear topology — one root, one branch, no merging.
+    describe(&robots::tiago(), false);
+
+    // (b) Spot-arm: four symmetric legs merge onto two ×2 arrays, the
+    //     arm keeps its own array.
+    describe(&robots::spot_arm(), false);
+
+    // (c) Atlas: re-rooting moves the root from the pelvis to the torso,
+    //     reducing depth 11 → 9 and balancing the branches.
+    let atlas = robots::atlas();
+    println!("\n--- Atlas without re-rooting (root = pelvis) ---");
+    describe(&atlas, false);
+    println!("\n--- Atlas with the §V-C1 re-rooting optimisation ---");
+    describe(&atlas, true);
+
+    let before = SapLayout::build(&atlas, false).max_depth;
+    let after = SapLayout::build(&atlas, true).max_depth;
+    println!(
+        "\nAtlas depth: {before} → {after}   (paper: 11 → 9); symmetric arms/legs\n\
+         each share one ×2 branch array."
+    );
+}

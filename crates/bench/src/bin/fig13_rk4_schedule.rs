@@ -1,0 +1,56 @@
+//! Fig 13 — scheduling partially-serial RK4 sensitivity chains: the
+//! accelerator interleaves independent sampling points to hide the
+//! 4-sub-task serial dependency; the CPU parallelises spatially over
+//! cores.
+
+use rbd_accel::{AccelConfig, DaduRbd, FunctionKind};
+use rbd_baselines::{function_work, paper_devices};
+use rbd_bench::print_table;
+use rbd_model::robots;
+use rbd_trajopt::ScheduleInputs;
+
+fn main() {
+    let model = robots::quadruped_arm();
+    let accel = DaduRbd::configure(&model, AccelConfig::default());
+    let est = accel.estimate(FunctionKind::DFd, 1);
+    let w = function_work(&model, FunctionKind::DFd);
+    let devices = paper_devices();
+    let cpu = devices.iter().find(|d| d.name == "AGX Orin CPU").unwrap();
+    let cpu_task = cpu.latency_s(&w);
+
+    let mut rows = Vec::new();
+    for n_points in [1usize, 4, 16, 64, 100, 256] {
+        let inputs = ScheduleInputs {
+            n_points,
+            serial_subtasks: 4,
+            pipe_ii: est.bottleneck_ii,
+            pipe_latency: est.latency_cycles,
+            cpu_task_s: cpu_task,
+            threads: 4,
+            clock_hz: accel.config().clock_hz,
+        };
+        rows.push(vec![
+            n_points.to_string(),
+            format!("{:.1}", inputs.accel_seconds() * 1e6),
+            format!("{:.1}", inputs.cpu_seconds() * 1e6),
+            format!("{:.2}", inputs.cpu_seconds() / inputs.accel_seconds()),
+            format!("{:.0}%", inputs.accel_utilization() * 100.0),
+        ]);
+    }
+    print_table(
+        "Fig 13 — RK4 sensitivity chains (4 serial ΔFD sub-tasks each)",
+        &[
+            "sampling points",
+            "Dadu-RBD µs",
+            "4-thread CPU µs",
+            "speedup",
+            "pipeline util",
+        ],
+        &rows,
+    );
+    println!(
+        "\nWith a single chain the pipeline is serial-latency bound; with the MPC's\n\
+         ~100-256 sampling points the interleaved schedule keeps the pipeline full\n\
+         (the paper's point about avoiding the serial sub-task penalty)."
+    );
+}

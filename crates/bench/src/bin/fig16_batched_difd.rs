@@ -1,0 +1,66 @@
+//! Fig 16 — batched ΔiFD on LBR iiwa vs batch size (16-128), against
+//! the Robomorphic comparison set: i7-7700 (4 threads), RTX 2080, and
+//! the Robomorphic FPGA itself.
+//!
+//! Paper anchors: Dadu-RBD is 10.3-13.0× the CPU, 3.4-11.3× the GPU and
+//! 6.3-7.0× the Robomorphic FPGA across these batch sizes.
+
+use rbd_accel::{AccelConfig, DaduRbd, FunctionKind};
+use rbd_baselines::{function_work, paper_devices, robomorphic_difd};
+use rbd_bench::{fmt_us, print_table};
+use rbd_model::robots;
+
+fn main() {
+    let model = robots::iiwa();
+    let accel = DaduRbd::configure(&model, AccelConfig::default());
+    let w = function_work(&model, FunctionKind::DiFd);
+    let devices = paper_devices();
+    let cpu = devices.iter().find(|d| d.name == "i7-7700").unwrap();
+    let gpu = devices.iter().find(|d| d.name == "RTX 2080").unwrap();
+    let robo = robomorphic_difd();
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for batch in [16usize, 32, 64, 128] {
+        let t_cpu = cpu.batch_time_s(&w, batch);
+        let t_gpu = gpu.batch_time_s(&w, batch);
+        let t_robo = robo.batch_time_s(&w, batch);
+        let t_ours = accel.estimate(FunctionKind::DiFd, batch).batch_time_s;
+        rows.push(vec![
+            batch.to_string(),
+            fmt_us(t_cpu),
+            fmt_us(t_gpu),
+            fmt_us(t_robo),
+            fmt_us(t_ours),
+            format!(
+                "{:.1}x / {:.1}x / {:.1}x",
+                t_cpu / t_ours,
+                t_gpu / t_ours,
+                t_robo / t_ours
+            ),
+        ]);
+        ratios.push((t_cpu / t_ours, t_gpu / t_ours, t_robo / t_ours));
+    }
+    print_table(
+        "Fig 16 — batched iiwa ΔiFD time, µs (lower is better)",
+        &[
+            "batch",
+            "i7-7700 (4T)",
+            "RTX 2080",
+            "Robomorphic",
+            "Ours",
+            "speedup cpu/gpu/fpga",
+        ],
+        &rows,
+    );
+
+    let (lo, hi) = ratios.iter().fold((f64::MAX, 0.0f64), |(lo, hi), r| {
+        (lo.min(r.2), hi.max(r.2))
+    });
+    println!("\nvs Robomorphic: {lo:.1}x - {hi:.1}x   (paper: 6.3x - 7.0x)");
+    println!("paper ranges   : CPU 10.3-13.0x, GPU 3.4-11.3x");
+    println!(
+        "\nlatency anchor : ours {:.2} µs vs Robomorphic 0.61 µs (paper: 0.76 µs vs 0.61 µs)",
+        accel.estimate(FunctionKind::DiFd, 1).latency_s * 1e6
+    );
+}

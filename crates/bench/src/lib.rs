@@ -1,0 +1,104 @@
+//! Shared reporting utilities for the figure/table regeneration binaries
+//! (`src/bin/fig*.rs`, `src/bin/table*.rs`, `src/bin/sec*.rs`).
+//!
+//! Every binary prints the rows/series of one table or figure of the
+//! paper, alongside the paper-reported anchors where available, so the
+//! *shape* comparison (who wins, by what factor, where crossovers fall)
+//! is immediate. See EXPERIMENTS.md for the recorded outcomes.
+
+/// Prints a titled ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |sep: &str| {
+        let cells: Vec<String> = widths.iter().map(|w| sep.repeat(*w + 2)).collect();
+        format!("+{}+", cells.join("+"))
+    };
+    println!("{}", line("-"));
+    let hdr: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
+    println!("|{}|", hdr.join("|"));
+    println!("{}", line("-"));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
+        println!("|{}|", cells.join("|"));
+    }
+    println!("{}", line("-"));
+}
+
+/// Horizontal ASCII bar scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    "#".repeat(n.min(width))
+}
+
+/// Human-readable engineering notation (`1.23M`, `45.6k`, `789`).
+pub fn fmt_si(x: f64) -> String {
+    let ax = x.abs();
+    if ax >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Microseconds with sensible precision.
+pub fn fmt_us(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10).len(), 10);
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(fmt_si(1_500_000.0), "1.50M");
+        assert_eq!(fmt_si(2_000.0), "2.00k");
+        assert_eq!(fmt_si(12.0), "12.00");
+        assert_eq!(fmt_si(3.2e9), "3.20G");
+    }
+
+    #[test]
+    fn us_formatting() {
+        assert_eq!(fmt_us(1.5e-6), "1.50");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

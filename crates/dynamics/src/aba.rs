@@ -1,0 +1,248 @@
+//! Articulated Body Algorithm (forward dynamics), the software baseline
+//! the paper deliberately does *not* instantiate in hardware (§III-A) —
+//! we implement it as an independent reference for validating the
+//! `FD = M⁻¹·(τ - C)` path.
+
+use crate::workspace::DynamicsWorkspace;
+use crate::DynamicsError;
+use rbd_model::RobotModel;
+use rbd_spatial::{ForceVec, Mat6, MatN, MotionVec, VecN};
+
+/// Forward dynamics `q̈ = ABA(q, q̇, τ, f_ext)` — O(N) articulated-body
+/// algorithm with multi-DOF joint support.
+///
+/// `fext` entries are world-frame spatial forces per body.
+///
+/// # Errors
+/// Returns [`DynamicsError::SingularMassMatrix`] when a joint-space
+/// articulated inertia block is singular (physically impossible for
+/// positive-mass models).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn aba(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    fext: Option<&[ForceVec]>,
+) -> Result<Vec<f64>, DynamicsError> {
+    let nb = model.num_bodies();
+    assert_eq!(q.len(), model.nq(), "q dimension");
+    assert_eq!(qd.len(), model.nv(), "qd dimension");
+    assert_eq!(tau.len(), model.nv(), "tau dimension");
+    if let Some(f) = fext {
+        assert_eq!(f.len(), nb, "fext dimension");
+    }
+
+    ws.update_kinematics(model, q);
+    let a0 = MotionVec::new(rbd_spatial::Vec3::zero(), -model.gravity);
+
+    // Pass 1: velocities, bias accelerations, articulated quantities init.
+    for i in 0..nb {
+        let vo = model.v_offset(i);
+        let mut vj = MotionVec::zero();
+        for (k, s) in ws.s[i].iter().enumerate() {
+            vj += *s * qd[vo + k];
+        }
+        let v = match model.topology().parent(i) {
+            Some(p) => ws.xup[i].apply_motion(&ws.v[p]) + vj,
+            None => vj,
+        };
+        ws.v[i] = v;
+        ws.c_bias[i] = v.cross_motion(&vj);
+        let inertia = model.link_inertia(i);
+        ws.ia[i] = inertia.to_mat6();
+        let mut pa = v.cross_force(&inertia.mul_motion(&v));
+        if let Some(fx) = fext {
+            pa -= ws.xworld[i].apply_force(&fx[i]);
+        }
+        ws.pa[i] = pa;
+    }
+
+    // Per-joint factor storage.
+    let mut u_cols: Vec<Vec<ForceVec>> = vec![Vec::new(); nb];
+    let mut d_inv: Vec<MatN> = vec![MatN::zeros(0, 0); nb];
+    let mut u_bias: Vec<VecN> = vec![VecN::zeros(0); nb];
+
+    // Pass 2: articulated inertia backward sweep.
+    for i in (0..nb).rev() {
+        let vo = model.v_offset(i);
+        let ni = ws.s[i].len();
+        let u: Vec<ForceVec> = ws.s[i]
+            .iter()
+            .map(|s| ws.ia[i].mul_motion_to_force(s))
+            .collect();
+        let mut d = MatN::zeros(ni, ni);
+        for a in 0..ni {
+            for b in 0..ni {
+                d[(a, b)] = ws.s[i][a].dot_force(&u[b]);
+            }
+        }
+        let dinv = d.inverse_spd()?;
+        let mut ub = VecN::zeros(ni);
+        for k in 0..ni {
+            ub[k] = tau[vo + k] - ws.s[i][k].dot_force(&ws.pa[i]);
+        }
+
+        if let Some(p) = model.topology().parent(i) {
+            // Ia = IA - U D⁻¹ Uᵀ
+            let mut ia = ws.ia[i];
+            for a in 0..ni {
+                for b in 0..ni {
+                    let w = dinv[(a, b)];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let ua = u[a].to_array();
+                    let ubv = u[b].to_array();
+                    for r in 0..6 {
+                        for c in 0..6 {
+                            ia.m[r][c] -= ua[r] * w * ubv[c];
+                        }
+                    }
+                }
+            }
+            // pa' = pA + Ia c + U D⁻¹ u
+            let mut pa = ws.pa[i] + ia.mul_motion_to_force(&ws.c_bias[i]);
+            for a in 0..ni {
+                let mut coeff = 0.0;
+                for b in 0..ni {
+                    coeff += dinv[(a, b)] * ub[b];
+                }
+                pa += u[a] * coeff;
+            }
+            let x6 = Mat6::from_xform_motion(&ws.xup[i]);
+            ws.ia[p] += ia.congruence(&x6);
+            ws.pa[p] += ws.xup[i].inv_apply_force(&pa);
+        }
+
+        u_cols[i] = u;
+        d_inv[i] = dinv;
+        u_bias[i] = ub;
+    }
+
+    // Pass 3: accelerations forward sweep.
+    let mut qdd = vec![0.0; model.nv()];
+    for i in 0..nb {
+        let vo = model.v_offset(i);
+        let ni = ws.s[i].len();
+        let a_par = match model.topology().parent(i) {
+            Some(p) => ws.xup[i].apply_motion(&ws.a[p]),
+            None => ws.xup[i].apply_motion(&a0),
+        };
+        let a_prime = a_par + ws.c_bias[i];
+        for k in 0..ni {
+            let mut rhs = u_bias[i][k];
+            // u - Uᵀ a'
+            // (apply D⁻¹ after assembling the residual vector)
+            rhs -= u_cols[i][k].dot_motion(&a_prime);
+            qdd[vo + k] = rhs;
+        }
+        // qdd_i = D⁻¹ (u - Uᵀ a')
+        let mut out = vec![0.0; ni];
+        for a in 0..ni {
+            for b in 0..ni {
+                out[a] += d_inv[i][(a, b)] * qdd[vo + b];
+            }
+        }
+        let mut a_i = a_prime;
+        for (k, s) in ws.s[i].iter().enumerate() {
+            qdd[vo + k] = out[k];
+            a_i += *s * out[k];
+        }
+        ws.a[i] = a_i;
+    }
+    Ok(qdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rnea::rnea;
+    use rbd_model::{random_state, robots};
+
+    fn roundtrip(model: &rbd_model::RobotModel, seed: u64, tol: f64) {
+        let mut ws = DynamicsWorkspace::new(model);
+        let s = random_state(model, seed);
+        let qdd_in: Vec<f64> = (0..model.nv()).map(|k| 0.4 - 0.03 * k as f64).collect();
+        let tau = rnea(model, &mut ws, &s.q, &s.qd, &qdd_in, None);
+        let qdd = aba(model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        for k in 0..model.nv() {
+            assert!(
+                (qdd[k] - qdd_in[k]).abs() < tol,
+                "{} dof {k}: {} vs {}",
+                model.name(),
+                qdd[k],
+                qdd_in[k]
+            );
+        }
+    }
+
+    #[test]
+    fn inverts_rnea_iiwa() {
+        roundtrip(&robots::iiwa(), 1, 1e-8);
+    }
+
+    #[test]
+    fn inverts_rnea_hyq() {
+        roundtrip(&robots::hyq(), 2, 1e-7);
+    }
+
+    #[test]
+    fn inverts_rnea_atlas() {
+        roundtrip(&robots::atlas(), 3, 1e-7);
+    }
+
+    #[test]
+    fn inverts_rnea_random_trees() {
+        for seed in 0..5 {
+            roundtrip(&robots::random_tree(12, seed), seed + 10, 1e-7);
+        }
+    }
+
+    #[test]
+    fn inverts_rnea_with_external_forces() {
+        let model = robots::hyq();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 8);
+        let fext: Vec<ForceVec> = (0..model.num_bodies())
+            .map(|i| {
+                ForceVec::from_slice(&[
+                    0.1 * i as f64,
+                    -0.2,
+                    0.3,
+                    5.0,
+                    -2.0,
+                    1.0 + i as f64,
+                ])
+            })
+            .collect();
+        let qdd_in: Vec<f64> = (0..model.nv()).map(|k| 0.1 * k as f64 - 0.5).collect();
+        let tau = rnea(&model, &mut ws, &s.q, &s.qd, &qdd_in, Some(&fext));
+        let qdd = aba(&model, &mut ws, &s.q, &s.qd, &tau, Some(&fext)).unwrap();
+        for k in 0..model.nv() {
+            assert!((qdd[k] - qdd_in[k]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn free_fall_acceleration() {
+        // Unactuated floating body: base must accelerate at -g.
+        let model = robots::hyq();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let q = model.neutral_config();
+        let zero = vec![0.0; model.nv()];
+        let qdd = aba(&model, &mut ws, &q, &zero, &zero, None).unwrap();
+        // Base linear z acceleration (dof 5) = -9.81; legs see no torque
+        // but gravity is uniform so relative accelerations vanish.
+        assert!((qdd[5] + 9.81).abs() < 1e-9, "qdd = {qdd:?}");
+        for k in 0..3 {
+            assert!(qdd[k].abs() < 1e-9); // no angular acceleration
+        }
+        for k in 6..model.nv() {
+            assert!(qdd[k].abs() < 1e-9, "joint dof {k}: {}", qdd[k]);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Composite Rigid Body Algorithm (mass matrix).
+
+use crate::workspace::DynamicsWorkspace;
+use rbd_model::RobotModel;
+use rbd_spatial::{ForceVec, Mat6, MatN};
+
+/// Mass matrix `M(q)` via the Composite Rigid Body Algorithm.
+///
+/// Returns the full symmetric `nv × nv` matrix.
+///
+/// # Panics
+/// Panics if `q.len() != model.nq()`.
+///
+/// # Example
+/// ```
+/// use rbd_dynamics::{crba, DynamicsWorkspace};
+/// use rbd_model::robots;
+/// let model = robots::iiwa();
+/// let mut ws = DynamicsWorkspace::new(&model);
+/// let m = crba(&model, &mut ws, &model.neutral_config());
+/// assert!(m.is_symmetric(1e-10));
+/// ```
+pub fn crba(model: &RobotModel, ws: &mut DynamicsWorkspace, q: &[f64]) -> MatN {
+    assert_eq!(q.len(), model.nq(), "q dimension");
+    let nb = model.num_bodies();
+    let nv = model.nv();
+    ws.update_kinematics(model, q);
+
+    // Composite inertias, leaves → root.
+    for i in 0..nb {
+        ws.ia[i] = model.link_inertia(i).to_mat6();
+    }
+    for i in (0..nb).rev() {
+        if let Some(p) = model.topology().parent(i) {
+            let x6 = Mat6::from_xform_motion(&ws.xup[i]);
+            let shifted = ws.ia[i].congruence(&x6);
+            ws.ia[p] += shifted;
+        }
+    }
+
+    let mut m = MatN::zeros(nv, nv);
+    for i in 0..nb {
+        let vo_i = model.v_offset(i);
+        let cols = ws.s[i].clone();
+        // Force columns of the composite inertia along each DOF of i.
+        let mut fcols: Vec<ForceVec> = cols
+            .iter()
+            .map(|s| ws.ia[i].mul_motion_to_force(s))
+            .collect();
+        // Diagonal block.
+        for (a, s) in cols.iter().enumerate() {
+            for (b, f) in fcols.iter().enumerate() {
+                m[(vo_i + a, vo_i + b)] = s.dot_force(f);
+            }
+        }
+        // Walk up the ancestor chain.
+        let mut j = i;
+        while let Some(p) = model.topology().parent(j) {
+            for f in fcols.iter_mut() {
+                *f = ws.xup[j].inv_apply_force(f);
+            }
+            j = p;
+            let vo_j = model.v_offset(j);
+            for (b, f) in fcols.iter().enumerate() {
+                for (a, s) in ws.s[j].iter().enumerate() {
+                    let val = s.dot_force(f);
+                    m[(vo_j + a, vo_i + b)] = val;
+                    m[(vo_i + b, vo_j + a)] = val;
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rnea::rnea_with_gravity_scale;
+    use crate::DynamicsWorkspace;
+    use rbd_model::{random_state, robots};
+
+    /// M columns can be generated one at a time by ID with unit q̈, zero
+    /// velocity and zero gravity — the classical cross-check.
+    fn check_against_rnea_columns(model: &rbd_model::RobotModel, seed: u64, tol: f64) {
+        let mut ws = DynamicsWorkspace::new(model);
+        let s = random_state(model, seed);
+        let nv = model.nv();
+        let m = crba(model, &mut ws, &s.q);
+        let zero = vec![0.0; nv];
+        for j in 0..nv {
+            let mut e = vec![0.0; nv];
+            e[j] = 1.0;
+            let col = rnea_with_gravity_scale(model, &mut ws, &s.q, &zero, &e, None, 0.0);
+            for i in 0..nv {
+                assert!(
+                    (m[(i, j)] - col[i]).abs() < tol,
+                    "{} M[{i},{j}] = {} vs ID column {}",
+                    model.name(),
+                    m[(i, j)],
+                    col[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_rnea_columns_iiwa() {
+        check_against_rnea_columns(&robots::iiwa(), 2, 1e-9);
+    }
+
+    #[test]
+    fn matches_rnea_columns_hyq() {
+        check_against_rnea_columns(&robots::hyq(), 4, 1e-8);
+    }
+
+    #[test]
+    fn matches_rnea_columns_atlas() {
+        check_against_rnea_columns(&robots::atlas(), 6, 1e-8);
+    }
+
+    #[test]
+    fn matches_rnea_columns_random_trees() {
+        for seed in 0..4 {
+            check_against_rnea_columns(&robots::random_tree(10, seed), seed, 1e-8);
+        }
+    }
+
+    #[test]
+    fn symmetric_positive_definite() {
+        let model = robots::atlas();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 1);
+        let m = crba(&model, &mut ws, &s.q);
+        assert!(m.is_symmetric(1e-9));
+        assert!(m.cholesky().is_ok(), "mass matrix must be SPD");
+    }
+
+    #[test]
+    fn branch_induced_sparsity() {
+        // M[i,j] = 0 when i and j are on different branches (Fig 5).
+        let model = robots::hyq();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 9);
+        let m = crba(&model, &mut ws, &s.q);
+        // Legs occupy bodies 1-3, 4-6, 7-9, 10-12 → dofs 6.., blocks of 3.
+        for leg_a in 0..4 {
+            for leg_b in 0..4 {
+                if leg_a == leg_b {
+                    continue;
+                }
+                for a in 0..3 {
+                    for b in 0..3 {
+                        let i = 6 + leg_a * 3 + a;
+                        let j = 6 + leg_b * 3 + b;
+                        assert!(
+                            m[(i, j)].abs() < 1e-12,
+                            "cross-leg coupling M[{i},{j}] = {}",
+                            m[(i, j)]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

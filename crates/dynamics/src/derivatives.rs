@@ -1,0 +1,332 @@
+//! ΔRNEA — analytical derivatives of inverse dynamics
+//! (`∂τ/∂q`, `∂τ/∂q̇`), following the world-frame formulation of
+//! Carpentier & Mansard (RSS 2018), which is also the form that exposes
+//! the paper's *incremental column* structure (§IV-A4): the useful
+//! columns of `∂v_i`, `∂a_i` are exactly the ancestor DOFs of body `i`,
+//! so per-joint work grows linearly with depth.
+//!
+//! Derivatives are taken in the tangent space of the configuration
+//! manifold (`q ⊕ δ` through each joint's exponential map), which for
+//! revolute/prismatic joints coincides with plain partial derivatives.
+
+use crate::workspace::DynamicsWorkspace;
+use rbd_model::RobotModel;
+use rbd_spatial::{ForceVec, MatN, MotionVec, SpatialInertia};
+
+/// Result of [`rnea_derivatives`].
+#[derive(Debug, Clone)]
+pub struct RneaDerivatives {
+    /// `∂τ/∂q` (tangent space), `nv × nv`.
+    pub dtau_dq: MatN,
+    /// `∂τ/∂q̇`, `nv × nv`.
+    pub dtau_dqd: MatN,
+    /// The torque at the evaluation point (free by-product).
+    pub tau: Vec<f64>,
+}
+
+/// Derivative of the world-frame inertia action: for a motion vector `y`,
+/// `∂(I y)/∂δ_j = S_j ×* (I y) - I (S_j × y)` (Lie derivative of the
+/// inertia along the joint axis).
+#[inline]
+fn d_inertia_apply(sj: &MotionVec, inertia: &SpatialInertia, y: &MotionVec) -> ForceVec {
+    sj.cross_force(&inertia.mul_motion(y)) - inertia.mul_motion(&sj.cross_motion(y))
+}
+
+/// Analytical `ΔID`: `∂_u τ = ΔID(q, q̇, q̈, f_ext)` with `u = [q; q̇]`.
+///
+/// `fext` entries are world-frame spatial forces per body (constant under
+/// the differentiation, matching the paper's treatment).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+///
+/// # Example
+/// ```
+/// use rbd_dynamics::{rnea_derivatives, DynamicsWorkspace};
+/// use rbd_model::{robots, random_state};
+/// let model = robots::iiwa();
+/// let mut ws = DynamicsWorkspace::new(&model);
+/// let s = random_state(&model, 0);
+/// let qdd = vec![0.0; model.nv()];
+/// let d = rnea_derivatives(&model, &mut ws, &s.q, &s.qd, &qdd, None);
+/// assert_eq!(d.dtau_dq.rows(), model.nv());
+/// ```
+pub fn rnea_derivatives(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    fext: Option<&[ForceVec]>,
+) -> RneaDerivatives {
+    let nb = model.num_bodies();
+    let nv = model.nv();
+    assert_eq!(q.len(), model.nq(), "q dimension");
+    assert_eq!(qd.len(), nv, "qd dimension");
+    assert_eq!(qdd.len(), nv, "qdd dimension");
+    if let Some(f) = fext {
+        assert_eq!(f.len(), nb, "fext dimension");
+    }
+
+    ws.update_kinematics(model, q);
+
+    // World-frame S columns, velocities, accelerations, inertias.
+    let mut inertia_w: Vec<SpatialInertia> = Vec::with_capacity(nb);
+    // Per-body chain DOFs (ancestors + self) — the "incremental columns".
+    let mut chain: Vec<Vec<usize>> = Vec::with_capacity(nb);
+
+    // Gravity baseline: a₀ = -g in world coordinates.
+    let a0 = MotionVec::new(rbd_spatial::Vec3::zero(), -model.gravity);
+
+    // Forward-pass values.
+    let mut vj_w = vec![MotionVec::zero(); nb]; // S q̇ per body, world frame
+    let mut aj_w = vec![MotionVec::zero(); nb]; // S q̈ per body, world frame
+    for i in 0..nb {
+        let x0 = ws.xworld[i];
+        let vo = model.v_offset(i);
+        let ni = ws.s[i].len();
+        for k in 0..ni {
+            ws.s_world[vo + k] = x0.inv_apply_motion(&ws.s[i][k]);
+        }
+        let mut vj = MotionVec::zero();
+        let mut aj = MotionVec::zero();
+        for k in 0..ni {
+            vj += ws.s_world[vo + k] * qd[vo + k];
+            aj += ws.s_world[vo + k] * qdd[vo + k];
+        }
+        vj_w[i] = vj;
+        aj_w[i] = aj;
+
+        let parent = model.topology().parent(i);
+        let (vp, ap) = match parent {
+            Some(p) => (ws.v_world[p], ws.a_world[p]),
+            None => (MotionVec::zero(), a0),
+        };
+        let v = vp + vj;
+        ws.v_world[i] = v;
+        ws.a_world[i] = ap + aj + v.cross_motion(&vj);
+
+        inertia_w.push(model.link_inertia(i).transform_to_parent(&x0));
+
+        let mut ch = match parent {
+            Some(p) => chain[p].clone(),
+            None => Vec::new(),
+        };
+        ch.extend(vo..vo + ni);
+        chain.push(ch);
+    }
+
+    // Body forces (world frame) and their derivatives.
+    let mut f_body = vec![ForceVec::zero(); nb];
+    let mut dv_dq = vec![vec![MotionVec::zero(); nv]; nb];
+    let mut dv_dqd = vec![vec![MotionVec::zero(); nv]; nb];
+    let mut da_dq = vec![vec![MotionVec::zero(); nv]; nb];
+    let mut da_dqd = vec![vec![MotionVec::zero(); nv]; nb];
+    // Aggregated subtree force derivatives (world frame ⇒ plain sums).
+    let mut df_dq = vec![vec![ForceVec::zero(); nv]; nb];
+    let mut df_dqd = vec![vec![ForceVec::zero(); nv]; nb];
+
+    for i in 0..nb {
+        let parent = model.topology().parent(i);
+        let vo = model.v_offset(i);
+        let ni = ws.s[i].len();
+        let v = ws.v_world[i];
+        let a = ws.a_world[i];
+        let iw = inertia_w[i];
+
+        let mut f = iw.mul_motion(&a) + v.cross_force(&iw.mul_motion(&v));
+        if let Some(fx) = fext {
+            f -= fx[i]; // already world frame
+        }
+        f_body[i] = f;
+
+        let own = vo..vo + ni;
+        for &j in &chain[i] {
+            let sj = ws.s_world[j];
+            // --- velocity derivatives
+            let dv_q = match parent {
+                Some(p) => dv_dq[p][j],
+                None => MotionVec::zero(),
+            } + sj.cross_motion(&vj_w[i]);
+            let dv_qd = match parent {
+                Some(p) => dv_dqd[p][j],
+                None => MotionVec::zero(),
+            } + if own.contains(&j) {
+                sj
+            } else {
+                MotionVec::zero()
+            };
+            // --- acceleration derivatives
+            let da_q = match parent {
+                Some(p) => da_dq[p][j],
+                None => MotionVec::zero(),
+            } + sj.cross_motion(&aj_w[i])
+                + dv_q.cross_motion(&vj_w[i])
+                + v.cross_motion(&sj.cross_motion(&vj_w[i]));
+            let da_qd = match parent {
+                Some(p) => da_dqd[p][j],
+                None => MotionVec::zero(),
+            } + dv_qd.cross_motion(&vj_w[i])
+                + if own.contains(&j) {
+                    v.cross_motion(&sj)
+                } else {
+                    MotionVec::zero()
+                };
+
+            dv_dq[i][j] = dv_q;
+            dv_dqd[i][j] = dv_qd;
+            da_dq[i][j] = da_q;
+            da_dqd[i][j] = da_qd;
+
+            // --- body-force derivatives
+            let df_q = d_inertia_apply(&sj, &iw, &a)
+                + iw.mul_motion(&da_q)
+                + dv_q.cross_force(&iw.mul_motion(&v))
+                + v.cross_force(&(d_inertia_apply(&sj, &iw, &v) + iw.mul_motion(&dv_q)));
+            let df_qd = iw.mul_motion(&da_qd)
+                + dv_qd.cross_force(&iw.mul_motion(&v))
+                + v.cross_force(&iw.mul_motion(&dv_qd));
+
+            df_dq[i][j] = df_q;
+            df_dqd[i][j] = df_qd;
+        }
+    }
+
+    // Backward pass: aggregate forces and derivatives up the tree, emit τ
+    // derivative rows.
+    let mut f_agg = f_body;
+    let mut dtau_dq = MatN::zeros(nv, nv);
+    let mut dtau_dqd = MatN::zeros(nv, nv);
+    let mut tau = vec![0.0; nv];
+
+    for i in (0..nb).rev() {
+        let vo = model.v_offset(i);
+        let ni = ws.s[i].len();
+        for k in 0..ni {
+            let sk = ws.s_world[vo + k];
+            tau[vo + k] = sk.dot_force(&f_agg[i]);
+            for j in 0..nv {
+                let mut dq = sk.dot_force(&df_dq[i][j]);
+                // Geometric term: only when joint(j) ⪯ i (tested via the
+                // chain membership of body i).
+                let body_j = model.body_of_dof(j);
+                if model.topology().is_ancestor_or_self(body_j, i) {
+                    let sj = ws.s_world[j];
+                    dq += sj.cross_motion(&sk).dot_force(&f_agg[i]);
+                }
+                dtau_dq[(vo + k, j)] += dq;
+                dtau_dqd[(vo + k, j)] += sk.dot_force(&df_dqd[i][j]);
+            }
+        }
+        if let Some(p) = model.topology().parent(i) {
+            let fa = f_agg[i];
+            f_agg[p] += fa;
+            for j in 0..nv {
+                let (dq, dqd) = (df_dq[i][j], df_dqd[i][j]);
+                df_dq[p][j] += dq;
+                df_dqd[p][j] += dqd;
+            }
+        }
+    }
+
+    RneaDerivatives {
+        dtau_dq,
+        dtau_dqd,
+        tau,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finite_diff::rnea_derivatives_numeric;
+    use crate::rnea::rnea;
+    use rbd_model::{random_state, robots, RobotModel};
+
+    fn check(model: &RobotModel, seed: u64, tol: f64) {
+        let mut ws = DynamicsWorkspace::new(model);
+        let s = random_state(model, seed);
+        let qdd: Vec<f64> = (0..model.nv())
+            .map(|k| 0.5 - 0.07 * k as f64)
+            .collect();
+
+        let analytic = rnea_derivatives(model, &mut ws, &s.q, &s.qd, &qdd, None);
+        let (num_dq, num_dqd) = rnea_derivatives_numeric(model, &s.q, &s.qd, &qdd, None, 1e-6);
+
+        let scale = 1.0 + num_dq.max_abs().max(num_dqd.max_abs());
+        let err_q = (&analytic.dtau_dq - &num_dq).max_abs() / scale;
+        let err_qd = (&analytic.dtau_dqd - &num_dqd).max_abs() / scale;
+        assert!(err_q < tol, "{}: ∂τ/∂q error {err_q}", model.name());
+        assert!(err_qd < tol, "{}: ∂τ/∂q̇ error {err_qd}", model.name());
+
+        // τ by-product matches plain RNEA.
+        let tau = rnea(model, &mut ws, &s.q, &s.qd, &qdd, None);
+        for k in 0..model.nv() {
+            assert!((analytic.tau[k] - tau[k]).abs() < 1e-8 * (1.0 + tau[k].abs()));
+        }
+    }
+
+    #[test]
+    fn iiwa_fixed_base() {
+        check(&robots::iiwa(), 1, 1e-5);
+    }
+
+    #[test]
+    fn hyq_floating_base() {
+        check(&robots::hyq(), 2, 1e-5);
+    }
+
+    #[test]
+    fn atlas_humanoid() {
+        check(&robots::atlas(), 3, 1e-5);
+    }
+
+    #[test]
+    fn tiago_planar() {
+        check(&robots::tiago(), 4, 1e-5);
+    }
+
+    #[test]
+    fn random_trees() {
+        for seed in 0..4 {
+            check(&robots::random_tree(8, seed), seed + 30, 1e-5);
+        }
+    }
+
+    #[test]
+    fn with_external_forces() {
+        let model = robots::hyq();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 6);
+        let qdd: Vec<f64> = (0..model.nv()).map(|k| 0.1 * k as f64).collect();
+        let fext: Vec<ForceVec> = (0..model.num_bodies())
+            .map(|i| ForceVec::from_slice(&[0.5, -0.3, 0.2, 3.0, 1.0 - i as f64 * 0.1, -2.0]))
+            .collect();
+        let analytic = rnea_derivatives(&model, &mut ws, &s.q, &s.qd, &qdd, Some(&fext));
+        let (num_dq, num_dqd) =
+            rnea_derivatives_numeric(&model, &s.q, &s.qd, &qdd, Some(&fext), 1e-6);
+        let scale = 1.0 + num_dq.max_abs();
+        assert!((&analytic.dtau_dq - &num_dq).max_abs() / scale < 1e-5);
+        assert!((&analytic.dtau_dqd - &num_dqd).max_abs() / scale < 1e-5);
+    }
+
+    /// ∂τ/∂q̈ is the mass matrix; check via linearity instead of a
+    /// dedicated output: ΔID at two q̈ values has identical ∂τ/∂q̇ terms
+    /// only when velocity effects dominate — so instead verify that the
+    /// dtau_dq of a *static* configuration (q̇ = 0, q̈ = 0) matches the
+    /// gradient of gravity torques alone.
+    #[test]
+    fn static_gradient_is_gravity_gradient() {
+        let model = robots::iiwa();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 9);
+        let zero = vec![0.0; model.nv()];
+        let analytic = rnea_derivatives(&model, &mut ws, &s.q, &zero, &zero, None);
+        let (num_dq, num_dqd) = rnea_derivatives_numeric(&model, &s.q, &zero, &zero, None, 1e-6);
+        assert!((&analytic.dtau_dq - &num_dq).max_abs() < 1e-5);
+        // With zero velocity the q̇ gradient must vanish except Coriolis
+        // cross terms, which are linear in q̇ → exactly zero here.
+        assert!(analytic.dtau_dqd.max_abs() < 1e-10);
+        assert!(num_dqd.max_abs() < 1e-6);
+    }
+}

@@ -1,0 +1,237 @@
+//! Forward dynamics and its derivatives through the paper's key
+//! relationships (Eqs. 2-3):
+//!
+//! * `FD = M⁻¹ · (τ - C)` — the accelerator computes FD without ever
+//!   instantiating the ABA (§III-A);
+//! * `ΔFD = -M⁻¹ · ΔID` evaluated at `q̈ = FD(q, q̇, τ)`;
+//! * `ΔiFD` — same, with `M⁻¹` supplied by the caller (Robomorphic's
+//!   function signature, Table I last row).
+
+use crate::derivatives::rnea_derivatives;
+use crate::mminv::mminv_gen;
+use crate::rnea::bias_force;
+use crate::workspace::DynamicsWorkspace;
+use crate::DynamicsError;
+use rbd_model::RobotModel;
+use rbd_spatial::{ForceVec, MatN, VecN};
+
+/// Forward dynamics via `q̈ = M⁻¹ (τ - C)` (Eq. 2 of the paper).
+///
+/// # Errors
+/// Returns an error when the mass matrix is singular.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn forward_dynamics(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    fext: Option<&[ForceVec]>,
+) -> Result<Vec<f64>, DynamicsError> {
+    assert_eq!(tau.len(), model.nv(), "tau dimension");
+    let minv = mminv_gen(model, ws, q, false, true)?
+        .minv
+        .expect("minv requested");
+    let c = bias_force(model, ws, q, qd, fext);
+    let rhs = VecN::from_vec(tau.iter().zip(&c).map(|(t, c)| t - c).collect());
+    Ok(minv.mul_vec(&rhs).as_slice().to_vec())
+}
+
+/// Result of [`fd_derivatives`] / [`fd_derivatives_with_minv`].
+#[derive(Debug, Clone)]
+pub struct FdDerivatives {
+    /// `∂q̈/∂q` (tangent space), `nv × nv`.
+    pub dqdd_dq: MatN,
+    /// `∂q̈/∂q̇`, `nv × nv`.
+    pub dqdd_dqd: MatN,
+    /// `∂q̈/∂τ = M⁻¹`, `nv × nv`.
+    pub dqdd_dtau: MatN,
+    /// The forward-dynamics solution at the evaluation point.
+    pub qdd: Vec<f64>,
+}
+
+/// `ΔFD`: derivatives of forward dynamics,
+/// `∂_u q̈ = -M⁻¹ ∂_u τ|_{q̈ = FD}` (Eq. 3; the paper's 6-step pipeline of
+/// Fig 9a).
+///
+/// # Errors
+/// Returns an error when the mass matrix is singular.
+pub fn fd_derivatives(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    fext: Option<&[ForceVec]>,
+) -> Result<FdDerivatives, DynamicsError> {
+    // Steps ①-③: C, M⁻¹, q̈ (Fig 9a).
+    let minv = mminv_gen(model, ws, q, false, true)?
+        .minv
+        .expect("minv requested");
+    let c = bias_force(model, ws, q, qd, fext);
+    let rhs = VecN::from_vec(tau.iter().zip(&c).map(|(t, c)| t - c).collect());
+    let qdd = minv.mul_vec(&rhs).as_slice().to_vec();
+    // Steps ④-⑥: ΔID at q̈, then the M⁻¹ products.
+    Ok(difd_core(model, ws, q, qd, &qdd, minv, fext))
+}
+
+/// `ΔiFD`: derivatives of dynamics with `M⁻¹` (and `q̈`) already known —
+/// `∂_u q̈ = ΔiFD(q, q̇, q̈, M⁻¹, f_ext)`, Table I last row. This is the
+/// function Robomorphic accelerates and the workload of Fig 16.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn fd_derivatives_with_minv(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    minv: MatN,
+    fext: Option<&[ForceVec]>,
+) -> FdDerivatives {
+    assert_eq!(minv.rows(), model.nv());
+    difd_core(model, ws, q, qd, qdd, minv, fext)
+}
+
+fn difd_core(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    minv: MatN,
+    fext: Option<&[ForceVec]>,
+) -> FdDerivatives {
+    let nv = model.nv();
+    let did = rnea_derivatives(model, ws, q, qd, qdd, fext);
+    // ∂q̈/∂u = -M⁻¹ ∂τ/∂u
+    let mut dqdd_dq = minv.mul_mat(&did.dtau_dq);
+    let mut dqdd_dqd = minv.mul_mat(&did.dtau_dqd);
+    for i in 0..nv {
+        for j in 0..nv {
+            dqdd_dq[(i, j)] = -dqdd_dq[(i, j)];
+            dqdd_dqd[(i, j)] = -dqdd_dqd[(i, j)];
+        }
+    }
+    FdDerivatives {
+        dqdd_dq,
+        dqdd_dqd,
+        dqdd_dtau: minv,
+        qdd: qdd.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aba::aba;
+    use crate::finite_diff::fd_derivatives_numeric;
+    use rbd_model::{random_state, robots, RobotModel};
+
+    fn check_fd_matches_aba(model: &RobotModel, seed: u64, tol: f64) {
+        let mut ws = DynamicsWorkspace::new(model);
+        let s = random_state(model, seed);
+        let tau: Vec<f64> = (0..model.nv()).map(|k| 1.0 - 0.2 * k as f64).collect();
+        let via_minv = forward_dynamics(model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        let via_aba = aba(model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        for k in 0..model.nv() {
+            assert!(
+                (via_minv[k] - via_aba[k]).abs() < tol * (1.0 + via_aba[k].abs()),
+                "{} dof {k}: {} vs {}",
+                model.name(),
+                via_minv[k],
+                via_aba[k]
+            );
+        }
+    }
+
+    #[test]
+    fn fd_equals_aba_iiwa() {
+        check_fd_matches_aba(&robots::iiwa(), 1, 1e-8);
+    }
+
+    #[test]
+    fn fd_equals_aba_hyq() {
+        check_fd_matches_aba(&robots::hyq(), 2, 1e-8);
+    }
+
+    #[test]
+    fn fd_equals_aba_atlas() {
+        check_fd_matches_aba(&robots::atlas(), 3, 1e-7);
+    }
+
+    fn check_dfd(model: &RobotModel, seed: u64, tol: f64) {
+        let mut ws = DynamicsWorkspace::new(model);
+        let s = random_state(model, seed);
+        let tau: Vec<f64> = (0..model.nv()).map(|k| 0.8 - 0.1 * k as f64).collect();
+        let d = fd_derivatives(model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        let (ndq, ndqd, ndtau) = fd_derivatives_numeric(model, &s.q, &s.qd, &tau, None, 1e-6);
+        let scale = 1.0 + ndq.max_abs().max(ndqd.max_abs());
+        assert!(
+            (&d.dqdd_dq - &ndq).max_abs() / scale < tol,
+            "{}: ∂q̈/∂q error {}",
+            model.name(),
+            (&d.dqdd_dq - &ndq).max_abs() / scale
+        );
+        assert!(
+            (&d.dqdd_dqd - &ndqd).max_abs() / scale < tol,
+            "{}: ∂q̈/∂q̇ error {}",
+            model.name(),
+            (&d.dqdd_dqd - &ndqd).max_abs() / scale
+        );
+        assert!(
+            (&d.dqdd_dtau - &ndtau).max_abs() / (1.0 + ndtau.max_abs()) < tol,
+            "{}: ∂q̈/∂τ error",
+            model.name()
+        );
+    }
+
+    #[test]
+    fn dfd_matches_finite_diff_iiwa() {
+        check_dfd(&robots::iiwa(), 4, 1e-4);
+    }
+
+    #[test]
+    fn dfd_matches_finite_diff_hyq() {
+        check_dfd(&robots::hyq(), 5, 1e-4);
+    }
+
+    #[test]
+    fn dfd_matches_finite_diff_atlas() {
+        check_dfd(&robots::atlas(), 6, 1e-4);
+    }
+
+    #[test]
+    fn difd_with_external_minv_matches_dfd() {
+        let model = robots::hyq();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 7);
+        let tau: Vec<f64> = (0..model.nv()).map(|k| 0.3 * k as f64 - 1.0).collect();
+        let full = fd_derivatives(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        let minv = mminv_gen(&model, &mut ws, &s.q, false, true)
+            .unwrap()
+            .minv
+            .unwrap();
+        let difd =
+            fd_derivatives_with_minv(&model, &mut ws, &s.q, &s.qd, &full.qdd, minv, None);
+        assert!((&full.dqdd_dq - &difd.dqdd_dq).max_abs() < 1e-10);
+        assert!((&full.dqdd_dqd - &difd.dqdd_dqd).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn fd_id_roundtrip_through_eq2() {
+        // q̈ → ID → FD → q̈ closes the loop entirely via Eq. 2.
+        let model = robots::quadruped_arm();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 8);
+        let qdd_in: Vec<f64> = (0..model.nv()).map(|k| 0.2 * (k % 5) as f64 - 0.4).collect();
+        let tau = crate::rnea::rnea(&model, &mut ws, &s.q, &s.qd, &qdd_in, None);
+        let qdd = forward_dynamics(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        for k in 0..model.nv() {
+            assert!((qdd[k] - qdd_in[k]).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Geometric Jacobians — the "Jacobian" capability of the paper's Fig 1
+//! kinematics column, built from the same world-frame motion-subspace
+//! columns the ΔRNEA array uses.
+
+use crate::workspace::DynamicsWorkspace;
+use rbd_model::RobotModel;
+use rbd_spatial::{MatN, MotionVec, Vec3};
+
+/// World-frame geometric Jacobian of body `body`: the 6×nv matrix `J`
+/// with `v_body^world = J q̇` (angular rows first).
+///
+/// Only ancestor-DOF columns are non-zero (the branch-induced sparsity
+/// of Fig 5).
+///
+/// # Panics
+/// Panics on dimension mismatch or `body` out of range.
+pub fn body_jacobian_world(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    body: usize,
+) -> MatN {
+    assert!(body < model.num_bodies());
+    assert_eq!(q.len(), model.nq());
+    ws.update_kinematics(model, q);
+    let nv = model.nv();
+    let mut j = MatN::zeros(6, nv);
+    let mut cur = Some(body);
+    while let Some(b) = cur {
+        let x0 = ws.xworld[b];
+        let vo = model.v_offset(b);
+        for (k, s) in model.joint(b).jtype.motion_subspace().iter().enumerate() {
+            let sw = x0.inv_apply_motion(s);
+            for r in 0..6 {
+                j[(r, vo + k)] = sw[r];
+            }
+        }
+        cur = model.topology().parent(b);
+    }
+    j
+}
+
+/// Linear velocity (world frame) of the point currently at world
+/// position `p` and rigidly attached to `body`, given `q̇`.
+pub fn point_velocity_world(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    body: usize,
+    p_world: Vec3,
+) -> Vec3 {
+    let j = body_jacobian_world(model, ws, q, body);
+    let mut v = MotionVec::zero();
+    for r in 0..6 {
+        let mut acc = 0.0;
+        for c in 0..model.nv() {
+            acc += j[(r, c)] * qd[c];
+        }
+        v[r] = acc;
+    }
+    // Spatial velocity → velocity of the point at p: v_p = v_lin + ω × p.
+    v.lin + v.ang.cross(&p_world)
+}
+
+/// World position of body `body`'s frame origin.
+pub fn body_position_world(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    body: usize,
+) -> Vec3 {
+    ws.update_kinematics(model, q);
+    ws.xworld[body].trans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_model::{integrate_config, random_state, robots};
+
+    /// J q̇ must match the finite difference of body placement.
+    #[test]
+    fn jacobian_matches_finite_difference() {
+        for model in [robots::iiwa(), robots::hyq()] {
+            let mut ws = DynamicsWorkspace::new(&model);
+            let s = random_state(&model, 3);
+            let body = model.num_bodies() - 1;
+            let qd: Vec<f64> = (0..model.nv()).map(|k| 0.4 - 0.06 * k as f64).collect();
+
+            let p0 = body_position_world(&model, &mut ws, &s.q, body);
+            let v_analytic = point_velocity_world(&model, &mut ws, &s.q, &qd, body, p0);
+
+            let h = 1e-7;
+            let qp = integrate_config(&model, &s.q, &qd, h);
+            let qm = integrate_config(&model, &s.q, &qd, -h);
+            let pp = body_position_world(&model, &mut ws, &qp, body);
+            let pm = body_position_world(&model, &mut ws, &qm, body);
+            let v_numeric = (pp - pm) * (1.0 / (2.0 * h));
+            assert!(
+                (v_analytic - v_numeric).max_abs() < 1e-5,
+                "{}: {v_analytic} vs {v_numeric}",
+                model.name()
+            );
+        }
+    }
+
+    /// Jacobian columns vanish for non-ancestor DOFs (branch sparsity).
+    #[test]
+    fn off_branch_columns_are_zero() {
+        let model = robots::hyq();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 5);
+        // Left-front foot (body 3); right-hind leg dofs (bodies 10-12 →
+        // dofs 15..18) must not appear.
+        let j = body_jacobian_world(&model, &mut ws, &s.q, 3);
+        for c in 15..18 {
+            for r in 0..6 {
+                assert_eq!(j[(r, c)], 0.0);
+            }
+        }
+        // Base dofs (0..6) must appear.
+        let base_norm: f64 = (0..6).map(|c| j[(0, c)].abs() + j[(3, c)].abs()).sum();
+        assert!(base_norm > 1e-6);
+    }
+
+    /// For a single revolute-Z joint, the Jacobian is the joint axis.
+    #[test]
+    fn single_joint_jacobian_is_axis() {
+        let model = robots::serial_chain(1);
+        let mut ws = DynamicsWorkspace::new(&model);
+        let j = body_jacobian_world(&model, &mut ws, &[0.7], 0);
+        assert!((j[(2, 0)] - 1.0).abs() < 1e-12); // ω_z
+        for r in [0, 1, 3, 4, 5] {
+            assert!(j[(r, 0)].abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Reference implementations of the rigid-body dynamics functions of
+//! Table I of the Dadu-RBD paper.
+//!
+//! | Function | Definition | Entry point |
+//! |----------|------------|-------------|
+//! | Inverse dynamics | `τ = ID(q, q̇, q̈, f_ext)` | [`rnea()`] |
+//! | Forward dynamics | `q̈ = FD(q, q̇, τ, f_ext)` | [`forward_dynamics`], [`aba()`] |
+//! | Mass matrix | `M = M(q)` | [`crba()`], [`mminv_gen`] |
+//! | Inverse mass matrix | `M⁻¹ = Minv(q)` | [`mminv_gen`] |
+//! | Derivatives of ID | `∂_u τ = ΔID(…)` | [`rnea_derivatives`] |
+//! | Derivatives of FD | `∂_u q̈ = ΔFD(…)` | [`fd_derivatives`] |
+//! | Derivatives of dynamics | `∂_u q̈ = ΔiFD(…, M⁻¹)` | [`fd_derivatives_with_minv`] |
+//!
+//! The crate plays the role Pinocchio plays in the paper's evaluation: the
+//! software baseline *and* the functional reference against which the
+//! accelerator simulator is checked bit-for-bit (up to f64 rounding).
+//!
+//! All algorithms share a [`DynamicsWorkspace`] (model/data split à la
+//! Pinocchio) so steady-state use performs no heap allocation.
+//!
+//! # Example
+//!
+//! ```
+//! use rbd_dynamics::{rnea, forward_dynamics, DynamicsWorkspace};
+//! use rbd_model::{robots, random_state};
+//!
+//! let model = robots::iiwa();
+//! let mut ws = DynamicsWorkspace::new(&model);
+//! let s = random_state(&model, 1);
+//! let qdd = vec![0.1; model.nv()];
+//! let tau = rnea(&model, &mut ws, &s.q, &s.qd, &qdd, None);
+//! let qdd_back = forward_dynamics(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+//! for (a, b) in qdd.iter().zip(&qdd_back) {
+//!     assert!((a - b).abs() < 1e-8);
+//! }
+//! ```
+
+pub mod aba;
+pub mod crba;
+pub mod derivatives;
+pub mod energy;
+pub mod fd;
+pub mod finite_diff;
+pub mod jacobian;
+pub mod mminv;
+pub mod momentum;
+pub mod rnea;
+pub mod workspace;
+
+pub use aba::aba;
+pub use crba::crba;
+pub use derivatives::{rnea_derivatives, RneaDerivatives};
+pub use energy::{kinetic_energy, potential_energy, total_energy};
+pub use fd::{fd_derivatives, fd_derivatives_with_minv, forward_dynamics, FdDerivatives};
+pub use finite_diff::{fd_derivatives_numeric, rnea_derivatives_numeric};
+pub use jacobian::{body_jacobian_world, body_position_world, point_velocity_world};
+pub use mminv::{mminv_gen, MMinvOutput};
+pub use momentum::{center_of_mass, spatial_momentum, total_mass};
+pub use rnea::{rnea, rnea_with_gravity_scale};
+pub use workspace::DynamicsWorkspace;
+
+/// Error type for dynamics computations that can fail (singular mass
+/// matrices and friends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynamicsError {
+    /// The (sub-)mass matrix was not invertible.
+    SingularMassMatrix(rbd_spatial::matn::FactorizationError),
+}
+
+impl std::fmt::Display for DynamicsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SingularMassMatrix(e) => write!(f, "singular mass matrix: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DynamicsError {}
+
+impl From<rbd_spatial::matn::FactorizationError> for DynamicsError {
+    fn from(e: rbd_spatial::matn::FactorizationError) -> Self {
+        Self::SingularMassMatrix(e)
+    }
+}

@@ -1,0 +1,363 @@
+//! MMinvGen — Algorithm 2 of the paper: a single backward/forward sweep
+//! that produces the mass matrix `M`, its analytical inverse `M⁻¹`, or
+//! both, by fusing CRBA with a simplified articulated-body
+//! factorization (Carpentier's analytical `M⁻¹`).
+//!
+//! Compared with running CRBA followed by a dense factorization, the
+//! fused form avoids one full forward sweep and exposes the reciprocal
+//! (`D⁻¹`) early — the property the paper's Backward-Forward RTP exploits
+//! to overlap decomposition with generation (§III-A, §IV-B).
+
+use crate::workspace::DynamicsWorkspace;
+use crate::DynamicsError;
+use rbd_model::RobotModel;
+use rbd_spatial::{ForceVec, Mat6, MatN, MotionVec};
+
+/// Output selector and results for [`mminv_gen`], mirroring the paper's
+/// `outM` / `outMinv` flags.
+#[derive(Debug, Clone, Default)]
+pub struct MMinvOutput {
+    /// The mass matrix, when requested.
+    pub m: Option<MatN>,
+    /// The inverse mass matrix, when requested.
+    pub minv: Option<MatN>,
+}
+
+/// Runs Algorithm 2 (MMinvGen) on configuration `q`.
+///
+/// * `out_m` — produce the mass matrix (CRBA-equivalent path);
+/// * `out_minv` — produce the analytical inverse.
+///
+/// Both may be requested at once; the reference implementation keeps the
+/// two `F` accumulators separate (the hardware time-multiplexes one
+/// buffer because the modes are distinguished by micro-instruction).
+///
+/// # Errors
+/// Returns [`DynamicsError::SingularMassMatrix`] if a joint-space block
+/// is singular.
+///
+/// # Panics
+/// Panics if `q.len() != model.nq()` or neither output is requested.
+///
+/// # Example
+/// ```
+/// use rbd_dynamics::{mminv_gen, DynamicsWorkspace};
+/// use rbd_model::robots;
+/// let model = robots::iiwa();
+/// let mut ws = DynamicsWorkspace::new(&model);
+/// let out = mminv_gen(&model, &mut ws, &model.neutral_config(), true, true).unwrap();
+/// let prod = out.m.unwrap().mul_mat(&out.minv.unwrap());
+/// // M · M⁻¹ = 1
+/// for i in 0..7 { assert!((prod[(i, i)] - 1.0).abs() < 1e-8); }
+/// ```
+pub fn mminv_gen(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    out_m: bool,
+    out_minv: bool,
+) -> Result<MMinvOutput, DynamicsError> {
+    assert_eq!(q.len(), model.nq(), "q dimension");
+    assert!(out_m || out_minv, "request at least one output");
+    let nb = model.num_bodies();
+    let nv = model.nv();
+    ws.update_kinematics(model, q);
+
+    let mut m_mat = if out_m { Some(MatN::zeros(nv, nv)) } else { None };
+    let mut minv = if out_minv { Some(MatN::zeros(nv, nv)) } else { None };
+
+    // Articulated inertias, lazily accumulated (children add into parents).
+    // The Minv path decrements IA to the articulated-body inertia (line 13
+    // of Algorithm 2) while the M path needs the plain composite inertia,
+    // so dual-output mode keeps a second accumulator (the hardware never
+    // runs both modes in one task, so it shares one buffer).
+    for i in 0..nb {
+        ws.ia[i] = Mat6::zero();
+    }
+    let mut ia_m: Vec<Mat6> = if out_m {
+        vec![Mat6::zero(); nb]
+    } else {
+        Vec::new()
+    };
+    // Per-dof force accumulators, one per mode (frame of the owning body).
+    let mut f_minv: Vec<Vec<ForceVec>> = vec![vec![ForceVec::zero(); nv]; nb];
+    let mut f_m: Vec<Vec<ForceVec>> = vec![vec![ForceVec::zero(); nv]; nb];
+    // Factors saved for the forward sweep.
+    let mut u_cols: Vec<Vec<ForceVec>> = vec![Vec::new(); nb];
+    let mut d_inv: Vec<MatN> = vec![MatN::zeros(0, 0); nb];
+
+    // ------------------------------------------------------- backward pass
+    for i in (0..nb).rev() {
+        let bi = model.v_offset(i);
+        let ni = ws.s[i].len();
+
+        // IA_i += I_i  (children already accumulated their contributions)
+        ws.ia[i] += model.link_inertia(i).to_mat6();
+        if out_m {
+            ia_m[i] += model.link_inertia(i).to_mat6();
+        }
+
+        // U = IA S ;  D = Sᵀ U   (articulated quantities, Minv path)
+        let u: Vec<ForceVec> = ws.s[i]
+            .iter()
+            .map(|s| ws.ia[i].mul_motion_to_force(s))
+            .collect();
+        let mut d = MatN::zeros(ni, ni);
+        for a in 0..ni {
+            for b in 0..ni {
+                d[(a, b)] = ws.s[i][a].dot_force(&u[b]);
+            }
+        }
+        let dinv = d.inverse_spd()?;
+        // Composite-inertia variants for the M path.
+        let u_m: Vec<ForceVec> = if out_m {
+            ws.s[i]
+                .iter()
+                .map(|s| ia_m[i].mul_motion_to_force(s))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let subtree = model.topology().subtree(i);
+        // DOF ids in treee(i) (strict descendants).
+        let desc_dofs: Vec<usize> = subtree
+            .iter()
+            .filter(|&&b| b != i)
+            .flat_map(|&b| {
+                let o = model.v_offset(b);
+                o..o + ws.s[b].len()
+            })
+            .collect();
+
+        if let Some(minv) = minv.as_mut() {
+            // Minv[i, i] = D⁻¹
+            for a in 0..ni {
+                for b in 0..ni {
+                    minv[(bi + a, bi + b)] = dinv[(a, b)];
+                }
+            }
+            // Minv[i, treee(i)] = -D⁻¹ Sᵀ F[:, treee(i)]
+            for &j in &desc_dofs {
+                for a in 0..ni {
+                    let mut acc = 0.0;
+                    for b in 0..ni {
+                        acc += dinv[(a, b)] * ws.s[i][b].dot_force(&f_minv[i][j]);
+                    }
+                    minv[(bi + a, j)] = -acc;
+                }
+            }
+        }
+        if let Some(m) = m_mat.as_mut() {
+            // M[i, i] = Sᵀ I^c S ; M[i, treee(i)] = Sᵀ F[:, treee(i)]
+            for a in 0..ni {
+                for b in 0..ni {
+                    m[(bi + a, bi + b)] = ws.s[i][a].dot_force(&u_m[b]);
+                }
+            }
+            for &j in &desc_dofs {
+                for a in 0..ni {
+                    m[(bi + a, j)] = ws.s[i][a].dot_force(&f_m[i][j]);
+                }
+            }
+        }
+
+        if let Some(p) = model.topology().parent(i) {
+            let own_and_desc: Vec<usize> =
+                (bi..bi + ni).chain(desc_dofs.iter().copied()).collect();
+            if let Some(minv) = minv.as_ref() {
+                // F[:, tree(i)] += U · Minv[i, tree(i)]
+                for &j in &own_and_desc {
+                    for a in 0..ni {
+                        f_minv[i][j] += u[a] * minv[(bi + a, j)];
+                    }
+                }
+                // IA_i -= U D⁻¹ Uᵀ
+                for a in 0..ni {
+                    for b in 0..ni {
+                        let w = dinv[(a, b)];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let ua = u[a].to_array();
+                        let ub = u[b].to_array();
+                        for r in 0..6 {
+                            for c in 0..6 {
+                                ws.ia[i].m[r][c] -= ua[r] * w * ub[c];
+                            }
+                        }
+                    }
+                }
+            }
+            if m_mat.is_some() {
+                // F[:, i] = U  (composite-inertia columns)
+                for a in 0..ni {
+                    f_m[i][bi + a] = u_m[a];
+                }
+            }
+            // F_λ[:, tree(i)] += λX*_i F_i[:, tree(i)]
+            for &j in &own_and_desc {
+                if minv.is_some() {
+                    let shifted = ws.xup[i].inv_apply_force(&f_minv[i][j]);
+                    f_minv[p][j] += shifted;
+                }
+                if m_mat.is_some() {
+                    let shifted = ws.xup[i].inv_apply_force(&f_m[i][j]);
+                    f_m[p][j] += shifted;
+                }
+            }
+            // IA_λ += λX*_i IA_i iX_λ
+            let x6 = Mat6::from_xform_motion(&ws.xup[i]);
+            let shifted = ws.ia[i].congruence(&x6);
+            ws.ia[p] += shifted;
+            if out_m {
+                let shifted_m = ia_m[i].congruence(&x6);
+                ia_m[p] += shifted_m;
+            }
+        }
+
+        u_cols[i] = u;
+        d_inv[i] = dinv;
+    }
+
+    // ------------------------------------------------------- forward pass
+    if let Some(minv) = minv.as_mut() {
+        let mut p_cols: Vec<Vec<MotionVec>> = vec![vec![MotionVec::zero(); nv]; nb];
+        for i in 0..nb {
+            let bi = model.v_offset(i);
+            let ni = ws.s[i].len();
+            let parent = model.topology().parent(i);
+            for j in bi..nv {
+                let from_parent = parent.map(|p| ws.xup[i].apply_motion(&p_cols[p][j]));
+                if let Some(tp) = from_parent {
+                    // Minv[i, i:] -= D⁻¹ Uᵀ (iX_λ P_λ[:, i:])
+                    for a in 0..ni {
+                        let mut acc = 0.0;
+                        for b in 0..ni {
+                            acc += d_inv[i][(a, b)] * u_cols[i][b].dot_motion(&tp);
+                        }
+                        minv[(bi + a, j)] -= acc;
+                    }
+                }
+                // P_i[:, i:] = S Minv[i, i:] (+ iX_λ P_λ[:, i:])
+                let mut pcol = MotionVec::zero();
+                for (a, s) in ws.s[i].iter().enumerate() {
+                    pcol += *s * minv[(bi + a, j)];
+                }
+                if let Some(tp) = from_parent {
+                    pcol += tp;
+                }
+                p_cols[i][j] = pcol;
+            }
+        }
+        minv.symmetrize_from_upper();
+    }
+    if let Some(m) = m_mat.as_mut() {
+        m.symmetrize_from_upper();
+    }
+
+    Ok(MMinvOutput { m: m_mat, minv })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crba::crba;
+    use rbd_model::{random_state, robots, RobotModel};
+
+    fn check_model(model: &RobotModel, seed: u64, tol: f64) {
+        let mut ws = DynamicsWorkspace::new(model);
+        let s = random_state(model, seed);
+        let nv = model.nv();
+
+        let out = mminv_gen(model, &mut ws, &s.q, true, true).unwrap();
+        let m = out.m.unwrap();
+        let minv = out.minv.unwrap();
+
+        // M path matches CRBA.
+        let m_crba = crba(model, &mut ws, &s.q);
+        assert!(
+            (&m - &m_crba).max_abs() < tol,
+            "{}: M vs CRBA diff {}",
+            model.name(),
+            (&m - &m_crba).max_abs()
+        );
+
+        // Minv really inverts M.
+        let prod = m.mul_mat(&minv);
+        let err = (&prod - &MatN::identity(nv)).max_abs();
+        assert!(
+            err < 1e-6 * (1.0 + m.max_abs()),
+            "{}: M·M⁻¹ error {err}",
+            model.name()
+        );
+
+        // Minv matches the dense LDLᵀ inverse.
+        let dense = m_crba.inverse_spd().unwrap();
+        let scale = dense.max_abs();
+        assert!(
+            (&minv - &dense).max_abs() < 1e-7 * (1.0 + scale),
+            "{}: Minv vs dense diff {}",
+            model.name(),
+            (&minv - &dense).max_abs()
+        );
+
+        // Symmetry of both outputs.
+        assert!(m.is_symmetric(1e-9 * (1.0 + m.max_abs())));
+        assert!(minv.is_symmetric(1e-9 * (1.0 + minv.max_abs())));
+    }
+
+    #[test]
+    fn iiwa() {
+        check_model(&robots::iiwa(), 3, 1e-9);
+    }
+
+    #[test]
+    fn hyq_floating_base() {
+        check_model(&robots::hyq(), 4, 1e-8);
+    }
+
+    #[test]
+    fn atlas_full_humanoid() {
+        check_model(&robots::atlas(), 5, 1e-7);
+    }
+
+    #[test]
+    fn tiago_planar_base() {
+        check_model(&robots::tiago(), 6, 1e-8);
+    }
+
+    #[test]
+    fn quadruped_arm() {
+        check_model(&robots::quadruped_arm(), 7, 1e-8);
+    }
+
+    #[test]
+    fn random_trees() {
+        for seed in 0..6 {
+            check_model(&robots::random_tree(9, seed), seed + 20, 1e-8);
+        }
+    }
+
+    #[test]
+    fn single_output_modes_match_dual_mode() {
+        let model = robots::iiwa();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 2);
+        let both = mminv_gen(&model, &mut ws, &s.q, true, true).unwrap();
+        let only_m = mminv_gen(&model, &mut ws, &s.q, true, false).unwrap();
+        let only_minv = mminv_gen(&model, &mut ws, &s.q, false, true).unwrap();
+        assert!((&only_m.m.unwrap() - both.m.as_ref().unwrap()).max_abs() < 1e-12);
+        assert!((&only_minv.minv.unwrap() - both.minv.as_ref().unwrap()).max_abs() < 1e-12);
+        assert!(only_m.minv.is_none());
+        assert!(only_minv.m.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn no_output_requested_panics() {
+        let model = robots::iiwa();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let _ = mminv_gen(&model, &mut ws, &model.neutral_config(), false, false);
+    }
+}

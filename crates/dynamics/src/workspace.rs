@@ -1,0 +1,120 @@
+//! Shared per-model scratch buffers (the "data" of a model/data split).
+
+use rbd_model::RobotModel;
+use rbd_spatial::{ForceVec, Mat6, MotionVec, Xform};
+
+/// Pre-allocated buffers for the dynamics algorithms.
+///
+/// Create one per model (and per thread) and reuse it across calls; all
+/// algorithms in this crate only write into these buffers and perform no
+/// steady-state allocation on the hot path (matrices returned to the
+/// caller are the exception).
+#[derive(Debug, Clone)]
+pub struct DynamicsWorkspace {
+    /// Local (child-frame) motion-subspace columns per body — constant.
+    pub s: Vec<Vec<MotionVec>>,
+    /// Parent→child transform `^i X_λi` per body.
+    pub xup: Vec<Xform>,
+    /// World→body transform `^i X_0` per body.
+    pub xworld: Vec<Xform>,
+    /// Spatial velocity per body (local coordinates).
+    pub v: Vec<MotionVec>,
+    /// Spatial acceleration per body (local coordinates).
+    pub a: Vec<MotionVec>,
+    /// Net body force per body; consumed by the backward pass.
+    pub f: Vec<ForceVec>,
+    /// Output joint torques.
+    pub tau: Vec<f64>,
+    /// Composite / articulated inertia scratch (CRBA, ABA, MMinvGen).
+    pub ia: Vec<Mat6>,
+    /// ABA bias forces.
+    pub pa: Vec<ForceVec>,
+    /// ABA velocity-product accelerations `c_i = v_i × vJ_i`.
+    pub c_bias: Vec<MotionVec>,
+    /// World-frame motion-subspace columns per DOF (derivatives).
+    pub s_world: Vec<MotionVec>,
+    /// World-frame velocity per body (derivatives).
+    pub v_world: Vec<MotionVec>,
+    /// World-frame acceleration per body (derivatives).
+    pub a_world: Vec<MotionVec>,
+}
+
+impl DynamicsWorkspace {
+    /// Allocates buffers sized for `model`.
+    pub fn new(model: &RobotModel) -> Self {
+        let nb = model.num_bodies();
+        let nv = model.nv();
+        Self {
+            s: (0..nb)
+                .map(|i| model.joint(i).jtype.motion_subspace())
+                .collect(),
+            xup: vec![Xform::identity(); nb],
+            xworld: vec![Xform::identity(); nb],
+            v: vec![MotionVec::zero(); nb],
+            a: vec![MotionVec::zero(); nb],
+            f: vec![ForceVec::zero(); nb],
+            tau: vec![0.0; nv],
+            ia: vec![Mat6::zero(); nb],
+            pa: vec![ForceVec::zero(); nb],
+            c_bias: vec![MotionVec::zero(); nb],
+            s_world: vec![MotionVec::zero(); nv],
+            v_world: vec![MotionVec::zero(); nb],
+            a_world: vec![MotionVec::zero(); nb],
+        }
+    }
+
+    /// Recomputes `xup` and `xworld` for configuration `q` (forward
+    /// kinematics). All dynamics entry points call this themselves; it is
+    /// public for use by tests and the accelerator's functional model.
+    pub fn update_kinematics(&mut self, model: &RobotModel, q: &[f64]) {
+        for i in 0..model.num_bodies() {
+            let xup = model.joint(i).child_xform(model.q_slice(i, q));
+            self.xworld[i] = match model.topology().parent(i) {
+                Some(p) => xup.compose(&self.xworld[p]),
+                None => xup,
+            };
+            self.xup[i] = xup;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_model::robots;
+    use rbd_spatial::Vec3;
+
+    #[test]
+    fn sizes_match_model() {
+        let m = robots::atlas();
+        let ws = DynamicsWorkspace::new(&m);
+        assert_eq!(ws.s.len(), m.num_bodies());
+        assert_eq!(ws.tau.len(), m.nv());
+        assert_eq!(ws.s_world.len(), m.nv());
+        let total_cols: usize = ws.s.iter().map(|s| s.len()).sum();
+        assert_eq!(total_cols, m.nv());
+    }
+
+    #[test]
+    fn world_transforms_compose() {
+        let m = robots::iiwa();
+        let mut ws = DynamicsWorkspace::new(&m);
+        let q: Vec<f64> = (0..7).map(|k| 0.1 * (k as f64 + 1.0)).collect();
+        ws.update_kinematics(&m, &q);
+        // ^6X_0 must equal ^6X_5 ∘ ^5X_0.
+        let composed = ws.xup[6].compose(&ws.xworld[5]);
+        assert!((composed.rot - ws.xworld[6].rot).max_abs() < 1e-12);
+        assert!((composed.trans - ws.xworld[6].trans).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn neutral_chain_stacks_links() {
+        let m = robots::serial_chain(4);
+        let mut ws = DynamicsWorkspace::new(&m);
+        ws.update_kinematics(&m, &m.neutral_config());
+        // Body 3's origin sits 3 × 0.3 m up in world coordinates
+        // (`trans` of `^3X_0` is the origin of frame 3 expressed in world).
+        let p = ws.xworld[3].trans;
+        assert!((p - Vec3::new(0.0, 0.0, 0.9)).max_abs() < 1e-12);
+    }
+}

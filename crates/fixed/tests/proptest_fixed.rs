@@ -1,0 +1,67 @@
+//! Property-based tests of the fixed-point datapath primitives.
+
+use proptest::prelude::*;
+use rbd_fixed::{fast_reciprocal, trig, Q16, Q32};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn q32_addition_exact(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        // Fixed-point addition of already-quantized values is exact.
+        let qa = Q32::from_f64(a);
+        let qb = Q32::from_f64(b);
+        let sum = (qa + qb).to_f64();
+        prop_assert!((sum - (qa.to_f64() + qb.to_f64())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn q32_multiplication_error_bounded(a in -1e3f64..1e3, b in -1e3f64..1e3) {
+        let p = (Q32::from_f64(a) * Q32::from_f64(b)).to_f64();
+        // Quantization of the inputs dominates: |err| ≤ (|a|+|b|+1)·ε.
+        let bound = (a.abs() + b.abs() + 1.0) * Q32::epsilon();
+        prop_assert!((p - a * b).abs() <= bound, "{} vs {}", p, a * b);
+    }
+
+    #[test]
+    fn q16_coarser_than_q32(x in -100.0f64..100.0) {
+        let e32 = (Q32::from_f64(x).to_f64() - x).abs();
+        let e16 = (Q16::from_f64(x).to_f64() - x).abs();
+        prop_assert!(e32 <= Q32::epsilon());
+        prop_assert!(e16 <= Q16::epsilon());
+    }
+
+    #[test]
+    fn reciprocal_relative_error_tiny(x in prop_oneof![
+        (-1e6f64..-1e-6),
+        (1e-6f64..1e6),
+    ]) {
+        let r = fast_reciprocal(x);
+        prop_assert!((r * x - 1.0).abs() < 1e-12, "x={}, r*x={}", x, r * x);
+    }
+
+    #[test]
+    fn division_matches_reciprocal_path(a in -100.0f64..100.0, b in prop_oneof![(0.1f64..50.0), (-50.0f64..-0.1)]) {
+        let exact = (Q32::from_f64(a) / Q32::from_f64(b)).to_f64();
+        let via_recip = (Q32::from_f64(a) * Q32::from_f64(b).recip()).to_f64();
+        // The reciprocal path (§IV-B2) loses at most a few ulps relative
+        // to the exact long division.
+        // recip(b) carries up to ~ε absolute error; scaled by a.
+        prop_assert!((exact - via_recip).abs() < (2.0 + a.abs()) * 2.0 * Q32::epsilon());
+    }
+
+    #[test]
+    fn taylor_trig_matches_libm(x in -50.0f64..50.0) {
+        let (s, c) = trig::sin_cos(x);
+        prop_assert!((s - x.sin()).abs() < 1e-10);
+        prop_assert!((c - x.cos()).abs() < 1e-10);
+        prop_assert!((s * s + c * c - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn negation_is_involutive(a in -1e6f64..1e6) {
+        let q = Q32::from_f64(a);
+        prop_assert_eq!(-(-q), q);
+        prop_assert_eq!((q - q).to_f64(), 0.0);
+    }
+}

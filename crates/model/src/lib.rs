@@ -1,0 +1,40 @@
+//! Robot kinematic-tree modelling for the Dadu-RBD reproduction.
+//!
+//! A robot is an open kinematic tree (§II of the paper): `NB` links, each
+//! attached to a parent by a joint with a type-specific motion subspace
+//! `S_i ∈ R^{6×n_i}`. This crate provides:
+//!
+//! * [`JointType`] / [`Joint`] — revolute, prismatic, spherical, planar,
+//!   3-DOF translation and 6-DOF floating joints, their joint transforms
+//!   `X_J(q)`, motion subspaces and configuration-space integration
+//!   (tangent-space `⊕`, quaternion-aware);
+//! * [`RobotModel`] and [`ModelBuilder`] — the model container with the
+//!   `tree(i)`/`treee(i)` subtree sets, ancestor queries, depths and
+//!   branch decomposition used by the Structure-Adaptive Pipelines;
+//! * [`Topology::reroot`](tree::Topology::reroot) — the Atlas-style topology re-rooting optimisation
+//!   (§V-C1, Fig 11c) that reduces tree depth;
+//! * [`robots`] — the concrete evaluation robots of the paper (LBR iiwa,
+//!   HyQ, Atlas, Spot-arm, Tiago) plus synthetic chains and random trees
+//!   for property-based testing.
+//!
+//! # Example
+//!
+//! ```
+//! use rbd_model::robots;
+//! let iiwa = robots::iiwa();
+//! assert_eq!(iiwa.num_bodies(), 7);
+//! assert_eq!(iiwa.nv(), 7);
+//! let hyq = robots::hyq();
+//! assert_eq!(hyq.nv(), 18); // 6-DOF floating base + 4 × 3-DOF legs
+//! ```
+
+pub mod joint;
+pub mod robot;
+pub mod robots;
+pub mod state;
+pub mod tree;
+
+pub use joint::{Joint, JointType};
+pub use robot::{ModelBuilder, RobotModel};
+pub use state::{integrate_config, random_state, JointPosition, RobotState};
+pub use tree::Topology;

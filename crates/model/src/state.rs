@@ -1,0 +1,154 @@
+//! Robot state containers and configuration-space integration.
+
+use crate::robot::RobotModel;
+
+/// A full robot state: configuration `q` (length `nq`) and velocity `qd`
+/// (length `nv`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RobotState {
+    /// Configuration vector.
+    pub q: Vec<f64>,
+    /// Velocity vector.
+    pub qd: Vec<f64>,
+}
+
+impl RobotState {
+    /// The neutral state of a model (identity configuration, zero
+    /// velocity).
+    pub fn neutral(model: &RobotModel) -> Self {
+        Self {
+            q: model.neutral_config(),
+            qd: vec![0.0; model.nv()],
+        }
+    }
+}
+
+/// Convenience view of one joint's configuration inside a `q` vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointPosition<'a> {
+    /// Owning body id.
+    pub body: usize,
+    /// Configuration slice.
+    pub q: &'a [f64],
+}
+
+/// Integrates a configuration by velocity `v` over `dt` in the tangent
+/// space of every joint: `q_out = q ⊕ (v·dt)`.
+///
+/// This is the `⊕` used both by the simulators and by all
+/// finite-difference derivative checks.
+///
+/// # Panics
+/// Panics on mismatched dimensions.
+pub fn integrate_config(model: &RobotModel, q: &[f64], v: &[f64], dt: f64) -> Vec<f64> {
+    assert_eq!(q.len(), model.nq());
+    assert_eq!(v.len(), model.nv());
+    let mut out = q.to_vec();
+    for i in 0..model.num_bodies() {
+        let jt = &model.joint(i).jtype;
+        let qo = model.q_offset(i);
+        let vo = model.v_offset(i);
+        jt.integrate(&mut out[qo..qo + jt.nq()], &v[vo..vo + jt.nv()], dt);
+    }
+    out
+}
+
+/// Deterministic pseudo-random state generator (xorshift-based; no
+/// external RNG dependency so it can be used from library code and keeps
+/// experiments reproducible).
+pub fn random_state(model: &RobotModel, seed: u64) -> RobotState {
+    let mut rng = SplitMix64::new(seed);
+    // Start from neutral and integrate a random tangent so quaternion
+    // joints stay on their manifold.
+    let q0 = model.neutral_config();
+    let dq: Vec<f64> = (0..model.nv()).map(|_| rng.next_symmetric()).collect();
+    let q = integrate_config(model, &q0, &dq, 1.0);
+    let qd: Vec<f64> = (0..model.nv()).map(|_| rng.next_symmetric()).collect();
+    RobotState { q, qd }
+}
+
+/// A small deterministic PRNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[-1, 1)`.
+    pub fn next_symmetric(&mut self) -> f64 {
+        2.0 * self.next_f64() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::robots;
+
+    #[test]
+    fn neutral_state_dimensions() {
+        let m = robots::iiwa();
+        let s = RobotState::neutral(&m);
+        assert_eq!(s.q.len(), m.nq());
+        assert_eq!(s.qd.len(), m.nv());
+    }
+
+    #[test]
+    fn integrate_zero_velocity_is_identity() {
+        let m = robots::hyq();
+        let s = RobotState::neutral(&m);
+        let q = integrate_config(&m, &s.q, &vec![0.0; m.nv()], 0.1);
+        assert_eq!(q, s.q);
+    }
+
+    #[test]
+    fn random_state_is_deterministic() {
+        let m = robots::iiwa();
+        let a = random_state(&m, 42);
+        let b = random_state(&m, 42);
+        assert_eq!(a, b);
+        let c = random_state(&m, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_state_keeps_quaternions_normalized() {
+        let m = robots::hyq(); // floating base → quaternion in q
+        let s = random_state(&m, 7);
+        // Floating base layout: [p(3), quat(4)], offset 0.
+        let n: f64 = s.q[3..7].iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splitmix_range() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.next_symmetric();
+            assert!((-1.0..1.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of topology and configuration-space invariants.
+
+use proptest::prelude::*;
+use rbd_model::{integrate_config, robots, Topology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// subtree/ancestor duality: j ∈ tree(i) ⟺ i is ancestor-or-self of j.
+    #[test]
+    fn subtree_ancestor_duality(n in 2usize..16, seed in 0u64..500) {
+        let m = robots::random_tree(n, seed);
+        let t = m.topology();
+        for i in 0..n {
+            let sub = t.subtree(i);
+            for j in 0..n {
+                prop_assert_eq!(sub.contains(&j), t.is_ancestor_or_self(i, j));
+            }
+        }
+    }
+
+    /// Segments partition the bodies and respect parent order.
+    #[test]
+    fn segments_partition(n in 1usize..16, seed in 0u64..500) {
+        let m = robots::random_tree(n, seed);
+        let t = m.topology();
+        let segs = t.segments();
+        let mut seen = vec![false; n];
+        for seg in &segs {
+            for w in seg.windows(2) {
+                prop_assert_eq!(t.parent(w[1]), Some(w[0]));
+            }
+            for &b in seg {
+                prop_assert!(!seen[b], "body {} in two segments", b);
+                seen[b] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Re-rooting preserves the undirected edge multiset and never
+    /// increases the eccentricity below the tree's radius.
+    #[test]
+    fn reroot_edge_preserving(n in 2usize..16, seed in 0u64..500, root_pick in 0usize..16) {
+        let m = robots::random_tree(n, seed);
+        let t = m.topology();
+        let new_root = root_pick % n;
+        let (r, map) = t.reroot(new_root);
+        let mut before: Vec<(usize, usize)> = (0..n)
+            .filter_map(|i| t.parent(i).map(|p| (p.min(i), p.max(i))))
+            .collect();
+        let mut after: Vec<(usize, usize)> = (0..n)
+            .filter_map(|i| {
+                r.parent(i).map(|p| {
+                    let (a, b) = (map[p], map[i]);
+                    (a.min(b), a.max(b))
+                })
+            })
+            .collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Integration is additive along a fixed direction for 1-DOF-joint
+    /// robots (vector-space configuration).
+    #[test]
+    fn integration_additive_for_chains(n in 1usize..8, a in -1.0f64..1.0, b in -1.0f64..1.0) {
+        let m = robots::serial_chain(n);
+        let q0 = m.neutral_config();
+        let v: Vec<f64> = (0..n).map(|k| 0.3 + 0.1 * k as f64).collect();
+        let one = integrate_config(&m, &integrate_config(&m, &q0, &v, a), &v, b);
+        let both = integrate_config(&m, &q0, &v, a + b);
+        for i in 0..n {
+            prop_assert!((one[i] - both[i]).abs() < 1e-12);
+        }
+    }
+
+    /// Quaternion joints stay normalized under arbitrary integration
+    /// sequences.
+    #[test]
+    fn quaternions_stay_normalized(steps in 1usize..20, seed in 0u64..200) {
+        let m = robots::hyq();
+        let mut q = m.neutral_config();
+        let mut rng = seed;
+        for _ in 0..steps {
+            rng = rng.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let v: Vec<f64> = (0..m.nv())
+                .map(|k| (((rng >> (k % 31)) & 0xFF) as f64 / 128.0) - 1.0)
+                .collect();
+            q = integrate_config(&m, &q, &v, 0.05);
+        }
+        let norm: f64 = q[3..7].iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    /// Depth is consistent with the ancestor count for every body.
+    #[test]
+    fn depth_equals_ancestor_count(n in 1usize..16, seed in 0u64..500) {
+        let m = robots::random_tree(n, seed);
+        let t = m.topology();
+        for i in 0..n {
+            prop_assert_eq!(t.depth(i), t.ancestors(i).len());
+        }
+        prop_assert!(t.max_depth() <= n);
+    }
+}
+
+#[test]
+fn forest_rejected_by_reroot() {
+    // Two roots → reroot must panic; Topology allows forests otherwise.
+    let t = Topology::from_parents(&[None, None, Some(0)]).unwrap();
+    let r = std::panic::catch_unwind(|| t.reroot(1));
+    assert!(r.is_err());
+}

@@ -1,0 +1,331 @@
+//! 3×3 matrices.
+
+use crate::Vec3;
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major 3×3 matrix of `f64`.
+///
+/// # Example
+/// ```
+/// use rbd_spatial::{Mat3, Vec3};
+/// let r = Mat3::rotation_z(std::f64::consts::FRAC_PI_2);
+/// let v = r * Vec3::unit_x();
+/// assert!((v.y - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Row-major entries `m[row][col]`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl Mat3 {
+    /// Builds a matrix from row-major entries.
+    #[inline]
+    pub const fn from_rows(m: [[f64; 3]; 3]) -> Self {
+        Self { m }
+    }
+
+    /// The zero matrix.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self::from_rows([[0.0; 3]; 3])
+    }
+
+    /// The identity matrix.
+    #[inline]
+    pub const fn identity() -> Self {
+        Self::from_rows([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+    }
+
+    /// Diagonal matrix with entries `d`.
+    #[inline]
+    pub fn diagonal(d: Vec3) -> Self {
+        Self::from_rows([[d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z]])
+    }
+
+    /// Skew-symmetric cross-product matrix `v×` such that `(v×) w = v.cross(w)`.
+    #[inline]
+    pub fn skew(v: Vec3) -> Self {
+        Self::from_rows([
+            [0.0, -v.z, v.y],
+            [v.z, 0.0, -v.x],
+            [-v.y, v.x, 0.0],
+        ])
+    }
+
+    /// Active rotation about the X axis by `theta` (radians): `R_x(θ) v`
+    /// rotates `v` by `θ` around X.
+    pub fn rotation_x(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::from_rows([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+    }
+
+    /// Active rotation about the Y axis by `theta` (radians).
+    pub fn rotation_y(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::from_rows([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+    }
+
+    /// Active rotation about the Z axis by `theta` (radians).
+    pub fn rotation_z(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::from_rows([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    }
+
+    /// Active rotation of angle `theta` about an arbitrary unit `axis`
+    /// (Rodrigues' formula).
+    pub fn rotation_axis(axis: Vec3, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::rotation_axis_sc(axis, s, c)
+    }
+
+    /// [`Self::rotation_axis`] with precomputed `sin`/`cos` — the form
+    /// used by hardware datapaths fed by a shared trigonometric unit.
+    pub fn rotation_axis_sc(axis: Vec3, s: f64, c: f64) -> Self {
+        let k = Mat3::skew(axis);
+        Mat3::identity() + k * s + (k * k) * (1.0 - c)
+    }
+
+    /// Returns the transpose.
+    #[inline]
+    pub fn transpose(&self) -> Self {
+        let m = &self.m;
+        Self::from_rows([
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        ])
+    }
+
+    /// Returns row `i` as a vector.
+    #[inline]
+    pub fn row(&self, i: usize) -> Vec3 {
+        Vec3::new(self.m[i][0], self.m[i][1], self.m[i][2])
+    }
+
+    /// Returns column `j` as a vector.
+    #[inline]
+    pub fn col(&self, j: usize) -> Vec3 {
+        Vec3::new(self.m[0][j], self.m[1][j], self.m[2][j])
+    }
+
+    /// Matrix trace.
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Inverse via the adjugate.
+    ///
+    /// # Panics
+    /// Panics if the determinant magnitude is below `1e-300` (singular).
+    pub fn inverse(&self) -> Self {
+        let d = self.det();
+        assert!(d.abs() > 1e-300, "Mat3::inverse: singular matrix");
+        let m = &self.m;
+        let inv = |r1: usize, c1: usize, r2: usize, c2: usize| {
+            m[r1][c1] * m[r2][c2] - m[r1][c2] * m[r2][c1]
+        };
+        Self::from_rows([
+            [inv(1, 1, 2, 2) / d, -inv(0, 1, 2, 2) / d, inv(0, 1, 1, 2) / d],
+            [-inv(1, 0, 2, 2) / d, inv(0, 0, 2, 2) / d, -inv(0, 0, 1, 2) / d],
+            [inv(1, 0, 2, 1) / d, -inv(0, 0, 2, 1) / d, inv(0, 0, 1, 1) / d],
+        ])
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.m
+            .iter()
+            .flatten()
+            .fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+    }
+
+    /// `true` when `‖self - selfᵀ‖∞ ≤ tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        (*self - self.transpose()).max_abs() <= tol
+    }
+}
+
+impl fmt::Display for Mat3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.m {
+            writeln!(f, "[{:10.6} {:10.6} {:10.6}]", r[0], r[1], r[2])?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[i][j] + rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl AddAssign for Mat3 {
+    fn add_assign(&mut self, rhs: Mat3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[i][j] - rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl Neg for Mat3 {
+    type Output = Mat3;
+    fn neg(self) -> Mat3 {
+        self * -1.0
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, s: f64) -> Mat3 {
+        let mut out = self;
+        for r in out.m.iter_mut() {
+            for x in r.iter_mut() {
+                *x *= s;
+            }
+        }
+        out
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.row(0).dot(&v),
+            self.row(1).dot(&v),
+            self.row(2).dot(&v),
+        )
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for (k, rhs_row) in rhs.m.iter().enumerate() {
+                    s += self.m[i][k] * rhs_row[j];
+                }
+                out.m[i][j] = s;
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Mat3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.m[i][j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat3 {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.m[i][j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn rotation_is_orthonormal() {
+        for r in [
+            Mat3::rotation_x(0.7),
+            Mat3::rotation_y(-1.3),
+            Mat3::rotation_z(2.9),
+            Mat3::rotation_axis(Vec3::new(1.0, 2.0, 2.0).normalized(), 0.4),
+        ] {
+            let e = r * r.transpose() - Mat3::identity();
+            assert!(e.max_abs() < 1e-12);
+            assert!(approx_eq(r.det(), 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn skew_matches_cross() {
+        let v = Vec3::new(0.3, -1.0, 2.0);
+        let w = Vec3::new(1.0, 4.0, -0.2);
+        let lhs = Mat3::skew(v) * w;
+        let rhs = v.cross(&w);
+        assert!((lhs - rhs).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn rotation_axis_matches_elementary() {
+        let r1 = Mat3::rotation_axis(Vec3::unit_z(), 0.8);
+        let r2 = Mat3::rotation_z(0.8);
+        assert!((r1 - r2).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Mat3::from_rows([[2.0, 1.0, 0.3], [-1.0, 3.5, 0.7], [0.1, 0.0, 1.2]]);
+        let i = a * a.inverse() - Mat3::identity();
+        assert!(i.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_of_identity() {
+        assert_eq!(Mat3::identity().det(), 1.0);
+    }
+
+    #[test]
+    fn symmetric_check() {
+        let s = Mat3::from_rows([[1.0, 2.0, 3.0], [2.0, 4.0, 5.0], [3.0, 5.0, 6.0]]);
+        assert!(s.is_symmetric(0.0));
+        assert!(!Mat3::skew(Vec3::unit_x()).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn row_col_access() {
+        let a = Mat3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        assert_eq!(a.row(1), Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(a.col(2), Vec3::new(3.0, 6.0, 9.0));
+        assert_eq!(a[(2, 0)], 7.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Dense 6×6 matrices (articulated-body inertias, transform matrices).
+
+use crate::{ForceVec, MotionVec, Xform};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
+
+/// A dense row-major 6×6 matrix.
+///
+/// The blocks follow the spatial layout: rows/columns 0-2 are angular,
+/// 3-5 linear. Articulated-body inertias and the dense form of Plücker
+/// transforms are represented with this type.
+///
+/// # Example
+/// ```
+/// use rbd_spatial::{Mat6, MotionVec};
+/// let i = Mat6::identity();
+/// let v = MotionVec::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// assert_eq!(i.mul_motion(&v), v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat6 {
+    /// Row-major entries.
+    pub m: [[f64; 6]; 6],
+}
+
+impl Default for Mat6 {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl Mat6 {
+    /// Builds from row-major entries.
+    #[inline]
+    pub const fn from_rows(m: [[f64; 6]; 6]) -> Self {
+        Self { m }
+    }
+
+    /// The zero matrix.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self::from_rows([[0.0; 6]; 6])
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut out = Self::zero();
+        for i in 0..6 {
+            out.m[i][i] = 1.0;
+        }
+        out
+    }
+
+    /// The motion-vector matrix `[E 0; -E r× E]` of a Plücker transform.
+    pub fn from_xform_motion(x: &Xform) -> Self {
+        let e = x.rot;
+        let erx = e * crate::Mat3::skew(x.trans);
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = e.m[i][j];
+                out.m[i + 3][j + 3] = e.m[i][j];
+                out.m[i + 3][j] = -erx.m[i][j];
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..6 {
+            for j in 0..6 {
+                out.m[j][i] = self.m[i][j];
+            }
+        }
+        out
+    }
+
+    /// Matrix × motion vector (inertia application when `self` is an
+    /// articulated inertia: the result is a force).
+    pub fn mul_motion_to_force(&self, v: &MotionVec) -> ForceVec {
+        let a = v.to_array();
+        let mut out = [0.0; 6];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.m[i];
+            *o = row[0] * a[0]
+                + row[1] * a[1]
+                + row[2] * a[2]
+                + row[3] * a[3]
+                + row[4] * a[4]
+                + row[5] * a[5];
+        }
+        ForceVec::from_slice(&out)
+    }
+
+    /// Matrix × motion vector, returning a motion vector (transform
+    /// application when `self` is a Plücker motion matrix).
+    pub fn mul_motion(&self, v: &MotionVec) -> MotionVec {
+        let f = self.mul_motion_to_force(v);
+        MotionVec::new(f.ang, f.lin)
+    }
+
+    /// Congruence transform `Xᵀ · self · X` used to shift articulated
+    /// inertias between frames (`^A I = (^B X_A)ᵀ ^B I ^B X_A`).
+    pub fn congruence(&self, x6: &Mat6) -> Self {
+        x6.transpose() * (*self * *x6)
+    }
+
+    /// Rank-one update `self - u uᵀ / d` used by ABA-style factorizations.
+    /// `u` is a force-layout 6-vector.
+    pub fn sub_outer_scaled(&mut self, u: &ForceVec, inv_d: f64) {
+        let ua = u.to_array();
+        for i in 0..6 {
+            for j in 0..6 {
+                self.m[i][j] -= ua[i] * ua[j] * inv_d;
+            }
+        }
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.m
+            .iter()
+            .flatten()
+            .fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+    }
+
+    /// `true` when `‖self - selfᵀ‖∞ ≤ tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        (*self - self.transpose()).max_abs() <= tol
+    }
+}
+
+impl Add for Mat6 {
+    type Output = Mat6;
+    fn add(self, r: Mat6) -> Mat6 {
+        let mut out = self;
+        for i in 0..6 {
+            for j in 0..6 {
+                out.m[i][j] += r.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl AddAssign for Mat6 {
+    fn add_assign(&mut self, r: Mat6) {
+        *self = *self + r;
+    }
+}
+
+impl Sub for Mat6 {
+    type Output = Mat6;
+    fn sub(self, r: Mat6) -> Mat6 {
+        let mut out = self;
+        for i in 0..6 {
+            for j in 0..6 {
+                out.m[i][j] -= r.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl SubAssign for Mat6 {
+    fn sub_assign(&mut self, r: Mat6) {
+        *self = *self - r;
+    }
+}
+
+impl Mul<f64> for Mat6 {
+    type Output = Mat6;
+    fn mul(self, s: f64) -> Mat6 {
+        let mut out = self;
+        for r in out.m.iter_mut() {
+            for x in r.iter_mut() {
+                *x *= s;
+            }
+        }
+        out
+    }
+}
+
+impl Mul<Mat6> for Mat6 {
+    type Output = Mat6;
+    fn mul(self, rhs: Mat6) -> Mat6 {
+        let mut out = Mat6::zero();
+        for i in 0..6 {
+            for k in 0..6 {
+                let a = self.m[i][k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..6 {
+                    out.m[i][j] += a * rhs.m[k][j];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Mat6 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.m[i][j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat6 {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.m[i][j]
+    }
+}
+
+impl fmt::Display for Mat6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.m {
+            writeln!(
+                f,
+                "[{:9.4} {:9.4} {:9.4} {:9.4} {:9.4} {:9.4}]",
+                r[0], r[1], r[2], r[3], r[4], r[5]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+
+    #[test]
+    fn xform_matrix_matches_apply_motion() {
+        let x = Xform::rot_axis(Vec3::new(1.0, 0.3, -0.2).normalized(), 0.9)
+            .with_translation(Vec3::new(0.1, 0.4, -0.6));
+        let m6 = Mat6::from_xform_motion(&x);
+        let v = MotionVec::from_slice(&[0.2, -0.3, 0.8, 1.0, 0.5, -0.1]);
+        let lhs = m6.mul_motion(&v);
+        let rhs = x.apply_motion(&v);
+        assert!((lhs - rhs).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn xform_transpose_matches_inv_apply_force() {
+        // (^B X_A)ᵀ applied to a force-layout vector equals ^A X_B^* f.
+        let x = Xform::rot_y(0.4).with_translation(Vec3::new(0.3, -0.2, 0.7));
+        let m6 = Mat6::from_xform_motion(&x).transpose();
+        let f = ForceVec::from_slice(&[0.1, 0.9, -0.4, 2.0, 0.3, 0.6]);
+        let lhs = {
+            let fm = MotionVec::new(f.ang, f.lin);
+            let out = m6.mul_motion(&fm);
+            ForceVec::new(out.ang, out.lin)
+        };
+        let rhs = x.inv_apply_force(&f);
+        assert!((lhs - rhs).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn congruence_preserves_symmetry() {
+        let mut s = Mat6::identity();
+        s.m[0][3] = 0.5;
+        s.m[3][0] = 0.5;
+        s.m[1][1] = 4.0;
+        let x = Mat6::from_xform_motion(
+            &Xform::rot_z(1.2).with_translation(Vec3::new(0.0, 1.0, 0.5)),
+        );
+        let t = s.congruence(&x);
+        assert!(t.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn rank_one_update() {
+        let mut a = Mat6::identity();
+        let u = ForceVec::from_slice(&[1.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+        a.sub_outer_scaled(&u, 0.5);
+        assert!((a.m[0][0] - 0.5).abs() < 1e-15);
+        assert!((a.m[0][5] + 1.0).abs() < 1e-15);
+        assert!((a.m[5][5] + 1.0).abs() < 1e-15);
+        assert!(a.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn mul_associates_with_identity() {
+        let x = Mat6::from_xform_motion(
+            &Xform::rot_x(0.3).with_translation(Vec3::new(1.0, 2.0, 3.0)),
+        );
+        let p = x * Mat6::identity();
+        assert!((p - x).max_abs() < 1e-15);
+    }
+}

@@ -1,0 +1,560 @@
+//! Dynamically sized dense vectors and matrices with the factorizations
+//! needed by the mass-matrix experiments (LDLᵀ, Cholesky).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dynamically sized dense vector.
+///
+/// # Example
+/// ```
+/// use rbd_spatial::VecN;
+/// let v = VecN::from_vec(vec![1.0, 2.0, 2.0]);
+/// assert_eq!(v.norm(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VecN {
+    data: Vec<f64>,
+}
+
+impl VecN {
+    /// Zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Wraps an existing `Vec<f64>`.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable slice access.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Dot product.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn dot(&self, rhs: &VecN) -> f64 {
+        assert_eq!(self.len(), rhs.len(), "VecN::dot length mismatch");
+        self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Largest absolute entry (0 for the empty vector).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+}
+
+impl Index<usize> for VecN {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for VecN {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add for &VecN {
+    type Output = VecN;
+    fn add(self, r: &VecN) -> VecN {
+        assert_eq!(self.len(), r.len());
+        VecN::from_vec(self.data.iter().zip(&r.data).map(|(a, b)| a + b).collect())
+    }
+}
+
+impl Sub for &VecN {
+    type Output = VecN;
+    fn sub(self, r: &VecN) -> VecN {
+        assert_eq!(self.len(), r.len());
+        VecN::from_vec(self.data.iter().zip(&r.data).map(|(a, b)| a - b).collect())
+    }
+}
+
+impl Neg for &VecN {
+    type Output = VecN;
+    fn neg(self) -> VecN {
+        VecN::from_vec(self.data.iter().map(|a| -a).collect())
+    }
+}
+
+impl Mul<f64> for &VecN {
+    type Output = VecN;
+    fn mul(self, s: f64) -> VecN {
+        VecN::from_vec(self.data.iter().map(|a| a * s).collect())
+    }
+}
+
+impl AddAssign<&VecN> for VecN {
+    fn add_assign(&mut self, r: &VecN) {
+        assert_eq!(self.len(), r.len());
+        for (a, b) in self.data.iter_mut().zip(&r.data) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for VecN {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A dynamically sized dense row-major matrix.
+///
+/// # Example
+/// ```
+/// use rbd_spatial::{MatN, VecN};
+/// let a = MatN::from_fn(2, 2, |i, j| if i == j { 2.0 } else { 1.0 });
+/// let x = a.solve(&VecN::from_vec(vec![3.0, 3.0])).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatN {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl MatN {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> MatN {
+        MatN::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn mul_vec(&self, v: &VecN) -> VecN {
+        assert_eq!(self.cols, v.len(), "MatN::mul_vec shape mismatch");
+        let mut out = VecN::zeros(self.rows);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Matrix-matrix product.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn mul_mat(&self, b: &MatN) -> MatN {
+        assert_eq!(self.cols, b.rows, "MatN::mul_mat shape mismatch");
+        let mut out = MatN::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    out[(i, j)] += a * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// `true` when square and `‖self - selfᵀ‖∞ ≤ tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Copies the upper triangle onto the lower triangle (used by
+    /// algorithms that only fill `i ≤ j`).
+    pub fn symmetrize_from_upper(&mut self) {
+        assert_eq!(self.rows, self.cols);
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let v = self[(i, j)];
+                self[(j, i)] = v;
+            }
+        }
+    }
+
+    /// LDLᵀ factorization of a symmetric matrix. Returns `(L, d)` with unit
+    /// lower-triangular `L` and diagonal `d` such that `self = L D Lᵀ`.
+    /// Only the lower triangle of `self` is read.
+    ///
+    /// # Errors
+    /// Returns `Err` if a pivot underflows (matrix not positive definite
+    /// enough for a stable unpivoted factorization).
+    pub fn ldlt(&self) -> Result<(MatN, VecN), FactorizationError> {
+        assert_eq!(self.rows, self.cols, "ldlt needs a square matrix");
+        let n = self.rows;
+        let mut l = MatN::identity(n);
+        let mut d = VecN::zeros(n);
+        for j in 0..n {
+            let mut dj = self[(j, j)];
+            for k in 0..j {
+                dj -= l[(j, k)] * l[(j, k)] * d[k];
+            }
+            if dj.abs() < 1e-12 {
+                return Err(FactorizationError::ZeroPivot { index: j });
+            }
+            d[j] = dj;
+            for i in (j + 1)..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)] * d[k];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok((l, d))
+    }
+
+    /// Cholesky factorization `self = G Gᵀ` of a symmetric positive-definite
+    /// matrix; returns lower-triangular `G`.
+    ///
+    /// # Errors
+    /// Returns `Err` on a non-positive pivot.
+    pub fn cholesky(&self) -> Result<MatN, FactorizationError> {
+        let (l, d) = self.ldlt()?;
+        let n = self.rows;
+        let mut g = MatN::zeros(n, n);
+        for j in 0..n {
+            if d[j] <= 0.0 {
+                return Err(FactorizationError::NotPositiveDefinite { index: j });
+            }
+            let sd = d[j].sqrt();
+            for i in j..n {
+                g[(i, j)] = l[(i, j)] * sd;
+            }
+        }
+        Ok(g)
+    }
+
+    /// Solves `self · x = b` for symmetric positive-definite `self` via
+    /// LDLᵀ.
+    ///
+    /// # Errors
+    /// Propagates factorization failure.
+    pub fn solve(&self, b: &VecN) -> Result<VecN, FactorizationError> {
+        let (l, d) = self.ldlt()?;
+        Ok(ldlt_solve(&l, &d, b))
+    }
+
+    /// Inverse of a symmetric positive-definite matrix via LDLᵀ.
+    ///
+    /// # Errors
+    /// Propagates factorization failure.
+    pub fn inverse_spd(&self) -> Result<MatN, FactorizationError> {
+        let (l, d) = self.ldlt()?;
+        let n = self.rows;
+        let mut inv = MatN::zeros(n, n);
+        for j in 0..n {
+            let mut e = VecN::zeros(n);
+            e[j] = 1.0;
+            let x = ldlt_solve(&l, &d, &e);
+            for i in 0..n {
+                inv[(i, j)] = x[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Solves `L D Lᵀ x = b` given the factors.
+pub fn ldlt_solve(l: &MatN, d: &VecN, b: &VecN) -> VecN {
+    let n = d.len();
+    let mut x = VecN::zeros(n);
+    // Forward: L y = b
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * x[k];
+        }
+        x[i] = s;
+    }
+    // Diagonal
+    for i in 0..n {
+        x[i] /= d[i];
+    }
+    // Backward: Lᵀ z = y
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s;
+    }
+    x
+}
+
+/// Error returned when a factorization cannot proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorizationError {
+    /// A pivot was numerically zero at the given elimination index.
+    ZeroPivot {
+        /// Elimination step at which the pivot vanished.
+        index: usize,
+    },
+    /// A pivot was negative where positive-definiteness was required.
+    NotPositiveDefinite {
+        /// Elimination step at which the pivot went non-positive.
+        index: usize,
+    },
+}
+
+impl fmt::Display for FactorizationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroPivot { index } => write!(f, "zero pivot at elimination step {index}"),
+            Self::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite (pivot {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorizationError {}
+
+impl Index<(usize, usize)> for MatN {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for MatN {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Sub for &MatN {
+    type Output = MatN;
+    fn sub(self, r: &MatN) -> MatN {
+        assert_eq!((self.rows, self.cols), (r.rows, r.cols));
+        MatN {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&r.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Add for &MatN {
+    type Output = MatN;
+    fn add(self, r: &MatN) -> MatN {
+        assert_eq!((self.rows, self.cols), (r.rows, r.cols));
+        MatN {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&r.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl fmt::Display for MatN {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.5}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> MatN {
+        // A = B Bᵀ + n·I is symmetric positive definite.
+        let b = MatN::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0 + 0.1 * i as f64);
+        let mut a = b.mul_mat(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn ldlt_reconstructs() {
+        let a = spd(6);
+        let (l, d) = a.ldlt().unwrap();
+        let mut ld = l.clone();
+        for i in 0..6 {
+            for j in 0..6 {
+                ld[(i, j)] *= d[j];
+            }
+        }
+        let rec = ld.mul_mat(&l.transpose());
+        assert!((&rec - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(5);
+        let g = a.cholesky().unwrap();
+        let rec = g.mul_mat(&g.transpose());
+        assert!((&rec - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_matches_mul() {
+        let a = spd(7);
+        let x_true = VecN::from_vec((0..7).map(|i| (i as f64 - 3.0) * 0.5).collect());
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        assert!((&x - &x_true).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_spd_roundtrip() {
+        let a = spd(4);
+        let inv = a.inverse_spd().unwrap();
+        let prod = a.mul_mat(&inv);
+        assert!((&prod - &MatN::identity(4)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_errors() {
+        let a = MatN::zeros(3, 3);
+        assert!(matches!(
+            a.ldlt(),
+            Err(FactorizationError::ZeroPivot { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn not_positive_definite_detected() {
+        let mut a = MatN::identity(2);
+        a[(1, 1)] = -5.0;
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    fn symmetrize_from_upper_works() {
+        let mut a = MatN::zeros(3, 3);
+        a[(0, 1)] = 2.0;
+        a[(0, 2)] = 3.0;
+        a[(1, 2)] = 4.0;
+        a.symmetrize_from_upper();
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a[(2, 0)], 3.0);
+    }
+
+    #[test]
+    fn mul_mat_identity() {
+        let a = spd(3);
+        let p = a.mul_mat(&MatN::identity(3));
+        assert!((&p - &a).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn vecn_basics() {
+        let v = VecN::from_vec(vec![3.0, 4.0]);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(&v), 25.0);
+        assert_eq!(v.max_abs(), 4.0);
+        assert!(!v.is_empty());
+        assert_eq!(VecN::zeros(0).max_abs(), 0.0);
+    }
+}

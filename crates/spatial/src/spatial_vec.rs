@@ -1,0 +1,273 @@
+//! Spatial (6-D) motion and force vectors and their cross operators.
+
+use crate::Vec3;
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A spatial **motion** vector `[ω; v]` (velocities, accelerations, motion
+/// subspace columns).
+///
+/// # Example
+/// ```
+/// use rbd_spatial::{MotionVec, Vec3};
+/// let v = MotionVec::new(Vec3::unit_z(), Vec3::zero());
+/// let m = MotionVec::new(Vec3::zero(), Vec3::unit_x());
+/// // ẑ angular velocity sweeps an x̂ linear motion into ŷ:
+/// assert!((v.cross_motion(&m).lin - Vec3::unit_y()).max_abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MotionVec {
+    /// Angular part `ω`.
+    pub ang: Vec3,
+    /// Linear part `v`.
+    pub lin: Vec3,
+}
+
+/// A spatial **force** vector `[n; f]` (wrenches, momenta).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ForceVec {
+    /// Rotational part (moment) `n`.
+    pub ang: Vec3,
+    /// Translational part (force) `f`.
+    pub lin: Vec3,
+}
+
+macro_rules! impl_spatial_common {
+    ($ty:ident) => {
+        impl $ty {
+            /// Creates a spatial vector from angular and linear parts.
+            #[inline]
+            pub const fn new(ang: Vec3, lin: Vec3) -> Self {
+                Self { ang, lin }
+            }
+
+            /// The zero vector.
+            #[inline]
+            pub const fn zero() -> Self {
+                Self::new(Vec3::zero(), Vec3::zero())
+            }
+
+            /// Builds from a slice of at least six elements
+            /// (`[ang; lin]` order).
+            ///
+            /// # Panics
+            /// Panics if `s.len() < 6`.
+            pub fn from_slice(s: &[f64]) -> Self {
+                Self::new(Vec3::new(s[0], s[1], s[2]), Vec3::new(s[3], s[4], s[5]))
+            }
+
+            /// Returns the six coordinates, angular first.
+            pub fn to_array(&self) -> [f64; 6] {
+                [
+                    self.ang.x, self.ang.y, self.ang.z, self.lin.x, self.lin.y,
+                    self.lin.z,
+                ]
+            }
+
+            /// Largest absolute coordinate.
+            pub fn max_abs(&self) -> f64 {
+                self.ang.max_abs().max(self.lin.max_abs())
+            }
+
+            /// Euclidean norm of the stacked 6-vector.
+            pub fn norm(&self) -> f64 {
+                (self.ang.norm_squared() + self.lin.norm_squared()).sqrt()
+            }
+        }
+
+        impl Add for $ty {
+            type Output = $ty;
+            #[inline]
+            fn add(self, r: $ty) -> $ty {
+                $ty::new(self.ang + r.ang, self.lin + r.lin)
+            }
+        }
+
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, r: $ty) {
+                *self = *self + r;
+            }
+        }
+
+        impl Sub for $ty {
+            type Output = $ty;
+            #[inline]
+            fn sub(self, r: $ty) -> $ty {
+                $ty::new(self.ang - r.ang, self.lin - r.lin)
+            }
+        }
+
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, r: $ty) {
+                *self = *self - r;
+            }
+        }
+
+        impl Neg for $ty {
+            type Output = $ty;
+            #[inline]
+            fn neg(self) -> $ty {
+                $ty::new(-self.ang, -self.lin)
+            }
+        }
+
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, s: f64) -> $ty {
+                $ty::new(self.ang * s, self.lin * s)
+            }
+        }
+
+        impl Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, v: $ty) -> $ty {
+                v * self
+            }
+        }
+
+        impl Index<usize> for $ty {
+            type Output = f64;
+            #[inline]
+            fn index(&self, i: usize) -> &f64 {
+                if i < 3 {
+                    &self.ang[i]
+                } else {
+                    &self.lin[i - 3]
+                }
+            }
+        }
+
+        impl IndexMut<usize> for $ty {
+            #[inline]
+            fn index_mut(&mut self, i: usize) -> &mut f64 {
+                if i < 3 {
+                    &mut self.ang[i]
+                } else {
+                    &mut self.lin[i - 3]
+                }
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "[{}; {}]", self.ang, self.lin)
+            }
+        }
+    };
+}
+
+impl_spatial_common!(MotionVec);
+impl_spatial_common!(ForceVec);
+
+impl MotionVec {
+    /// Spatial motion cross product `self × m` (Featherstone `crm(v) m`):
+    ///
+    /// `[ω×m_ω ; ω×m_v + v×m_ω]`.
+    #[inline]
+    pub fn cross_motion(&self, m: &MotionVec) -> MotionVec {
+        MotionVec::new(
+            self.ang.cross(&m.ang),
+            self.ang.cross(&m.lin) + self.lin.cross(&m.ang),
+        )
+    }
+
+    /// Spatial force cross product `self ×* f` (Featherstone `crf(v) f`):
+    ///
+    /// `[ω×f_n + v×f_f ; ω×f_f]`.
+    #[inline]
+    pub fn cross_force(&self, f: &ForceVec) -> ForceVec {
+        ForceVec::new(
+            self.ang.cross(&f.ang) + self.lin.cross(&f.lin),
+            self.ang.cross(&f.lin),
+        )
+    }
+
+    /// Duality pairing `⟨motion, force⟩ = ωᵀn + vᵀf` (e.g. joint torque
+    /// `τ = Sᵀ f`, power `vᵀ f`).
+    #[inline]
+    pub fn dot_force(&self, f: &ForceVec) -> f64 {
+        self.ang.dot(&f.ang) + self.lin.dot(&f.lin)
+    }
+}
+
+impl ForceVec {
+    /// Duality pairing with a motion vector (commutes with
+    /// [`MotionVec::dot_force`]).
+    #[inline]
+    pub fn dot_motion(&self, m: &MotionVec) -> f64 {
+        m.dot_force(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(a: [f64; 6]) -> MotionVec {
+        MotionVec::from_slice(&a)
+    }
+    fn fv(a: [f64; 6]) -> ForceVec {
+        ForceVec::from_slice(&a)
+    }
+
+    #[test]
+    fn cross_motion_of_self_is_zero() {
+        let v = mv([0.1, -0.2, 0.3, 1.0, 2.0, -0.5]);
+        assert!(v.cross_motion(&v).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn cross_force_is_negative_transpose_of_cross_motion() {
+        // ⟨v × m, f⟩ = -⟨m, v ×* f⟩ for all m, f (adjoint identity).
+        let v = mv([0.4, 0.5, -0.6, 0.1, 0.9, 0.2]);
+        let m = mv([1.0, -1.0, 0.5, 0.2, 0.3, -0.7]);
+        let f = fv([0.3, 0.1, -0.2, 2.0, -1.0, 0.5]);
+        let lhs = v.cross_motion(&m).dot_force(&f);
+        let rhs = -m.dot_force(&v.cross_force(&f));
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_identity_for_motion_cross() {
+        let a = mv([0.1, 0.2, 0.3, -0.4, 0.5, 0.6]);
+        let b = mv([-0.7, 0.8, 0.9, 1.0, -1.1, 1.2]);
+        let c = mv([0.05, -0.15, 0.25, 0.35, 0.45, -0.55]);
+        let total = a.cross_motion(&b.cross_motion(&c))
+            + b.cross_motion(&c.cross_motion(&a))
+            + c.cross_motion(&a.cross_motion(&b));
+        assert!(total.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexing_layout_is_angular_first() {
+        let v = mv([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[3], 4.0);
+        assert_eq!(v.to_array(), [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn arithmetic_and_norm() {
+        let a = mv([1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let b = mv([0.0, 0.0, 0.0, 0.0, 3.0, 4.0]);
+        assert!(((a + b).norm() - 26.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!((a * 2.0)[0], 2.0);
+        assert_eq!((2.0 * a)[0], 2.0);
+        let mut c = a;
+        c += b;
+        c -= a;
+        assert_eq!(c, b);
+        assert_eq!((-b)[4], -3.0);
+    }
+
+    #[test]
+    fn dot_pairing_symmetry() {
+        let m = mv([0.3, 1.0, -0.5, 0.2, 0.0, 0.7]);
+        let f = fv([1.5, -0.1, 0.4, 0.9, 0.8, -0.3]);
+        assert_eq!(m.dot_force(&f), f.dot_motion(&m));
+    }
+}

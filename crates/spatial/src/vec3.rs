@@ -1,0 +1,286 @@
+//! 3-dimensional vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A 3-D vector of `f64` coordinates.
+///
+/// # Example
+/// ```
+/// use rbd_spatial::Vec3;
+/// let a = Vec3::new(1.0, 2.0, 3.0);
+/// let b = Vec3::unit_x();
+/// assert_eq!(a.dot(&b), 1.0);
+/// assert_eq!(a.cross(&b), Vec3::new(0.0, 3.0, -2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Z coordinate.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector from its three coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0, 0.0)
+    }
+
+    /// Unit vector along X.
+    #[inline]
+    pub const fn unit_x() -> Self {
+        Self::new(1.0, 0.0, 0.0)
+    }
+
+    /// Unit vector along Y.
+    #[inline]
+    pub const fn unit_y() -> Self {
+        Self::new(0.0, 1.0, 0.0)
+    }
+
+    /// Unit vector along Z.
+    #[inline]
+    pub const fn unit_z() -> Self {
+        Self::new(0.0, 0.0, 1.0)
+    }
+
+    /// Builds a vector from a slice of at least three elements.
+    ///
+    /// # Panics
+    /// Panics if `s.len() < 3`.
+    #[inline]
+    pub fn from_slice(s: &[f64]) -> Self {
+        Self::new(s[0], s[1], s[2])
+    }
+
+    /// Returns the coordinates as an array `[x, y, z]`.
+    #[inline]
+    pub const fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, rhs: &Self) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product `self × rhs`.
+    #[inline]
+    pub fn cross(&self, rhs: &Self) -> Self {
+        Self::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_squared(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// # Panics
+    /// Panics if the vector has (near-)zero norm.
+    #[inline]
+    pub fn normalized(&self) -> Self {
+        let n = self.norm();
+        assert!(n > 1e-300, "cannot normalize a zero vector");
+        *self / n
+    }
+
+    /// Largest absolute coordinate.
+    #[inline]
+    pub fn max_abs(&self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+
+    /// Component-wise map.
+    #[inline]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self::new(f(self.x), f(self.y), f(self.z))
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6}, {:.6}, {:.6}]", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_is_anticommutative() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-0.5, 0.25, 4.0);
+        assert_eq!(a.cross(&b), -(b.cross(&a)));
+    }
+
+    #[test]
+    fn cross_orthogonal_to_operands() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -1.0, 0.5);
+        let c = a.cross(&b);
+        assert!(c.dot(&a).abs() < 1e-12);
+        assert!(c.dot(&b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_vectors_cycle() {
+        assert_eq!(Vec3::unit_x().cross(&Vec3::unit_y()), Vec3::unit_z());
+        assert_eq!(Vec3::unit_y().cross(&Vec3::unit_z()), Vec3::unit_x());
+        assert_eq!(Vec3::unit_z().cross(&Vec3::unit_x()), Vec3::unit_y());
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        let u = v.normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut v = Vec3::zero();
+        v[0] = 1.0;
+        v[1] = 2.0;
+        v[2] = 3.0;
+        assert_eq!(v, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(v[2], 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let v = Vec3::zero();
+        let _ = v[3];
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(0.5, 0.5, 0.5);
+        assert_eq!(a + b, Vec3::new(1.5, 2.5, 3.5));
+        assert_eq!(a - b, Vec3::new(0.5, 1.5, 2.5));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+    }
+}

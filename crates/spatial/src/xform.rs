@@ -1,0 +1,225 @@
+//! Plücker coordinate transforms between spatial frames.
+
+use crate::{ForceVec, Mat3, MotionVec, Vec3};
+use std::fmt;
+
+/// A Plücker transform `^B X_A` describing frame B relative to frame A.
+///
+/// * `rot` is the coordinate rotation `E` (maps A-coordinates of a free
+///   vector into B-coordinates);
+/// * `trans` is `r`, the position of B's origin expressed in A.
+///
+/// The motion-vector matrix is `[E 0; -E r× E]`; the force-vector
+/// (dual) matrix is `[E -E r×; 0 E]`.
+///
+/// # Example
+/// ```
+/// use rbd_spatial::{Xform, MotionVec, Vec3};
+/// // Frame B: translated 1m along A's x axis, same orientation.
+/// let x = Xform::translation(Vec3::unit_x());
+/// // A pure rotation about A's z axis, seen from B, gains a linear term.
+/// let v = MotionVec::new(Vec3::unit_z(), Vec3::zero());
+/// let vb = x.apply_motion(&v);
+/// // The body point at B's origin moves at ω × r = +ŷ.
+/// assert!((vb.lin - Vec3::new(0.0, 1.0, 0.0)).max_abs() < 1e-14);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Xform {
+    /// Coordinate rotation `E` (A→B).
+    pub rot: Mat3,
+    /// Origin of B expressed in A coordinates.
+    pub trans: Vec3,
+}
+
+impl Default for Xform {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl Xform {
+    /// Creates a transform from a coordinate rotation and a translation.
+    #[inline]
+    pub const fn new(rot: Mat3, trans: Vec3) -> Self {
+        Self { rot, trans }
+    }
+
+    /// The identity transform.
+    #[inline]
+    pub const fn identity() -> Self {
+        Self::new(Mat3::identity(), Vec3::zero())
+    }
+
+    /// Pure translation: B's origin at `r` (A coordinates), axes aligned.
+    #[inline]
+    pub fn translation(r: Vec3) -> Self {
+        Self::new(Mat3::identity(), r)
+    }
+
+    /// Pure coordinate rotation about X by `theta`: B is A rotated by
+    /// `+theta` about A's x axis, so `E = R_x(θ)ᵀ`.
+    pub fn rot_x(theta: f64) -> Self {
+        Self::new(Mat3::rotation_x(theta).transpose(), Vec3::zero())
+    }
+
+    /// Pure coordinate rotation about Y by `theta`.
+    pub fn rot_y(theta: f64) -> Self {
+        Self::new(Mat3::rotation_y(theta).transpose(), Vec3::zero())
+    }
+
+    /// Pure coordinate rotation about Z by `theta`.
+    pub fn rot_z(theta: f64) -> Self {
+        Self::new(Mat3::rotation_z(theta).transpose(), Vec3::zero())
+    }
+
+    /// Pure coordinate rotation of `theta` about an arbitrary unit `axis`.
+    pub fn rot_axis(axis: Vec3, theta: f64) -> Self {
+        Self::new(Mat3::rotation_axis(axis, theta).transpose(), Vec3::zero())
+    }
+
+    /// Returns a copy with the translation replaced.
+    #[inline]
+    pub fn with_translation(mut self, r: Vec3) -> Self {
+        self.trans = r;
+        self
+    }
+
+    /// Transforms a motion vector from A-coordinates to B-coordinates:
+    /// `v_B = [E 0; -E r× E] v_A`.
+    #[inline]
+    pub fn apply_motion(&self, v: &MotionVec) -> MotionVec {
+        let ang = self.rot * v.ang;
+        let lin = self.rot * (v.lin - self.trans.cross(&v.ang));
+        MotionVec::new(ang, lin)
+    }
+
+    /// Transforms a motion vector from B-coordinates back to A-coordinates
+    /// (the inverse of [`Self::apply_motion`]).
+    #[inline]
+    pub fn inv_apply_motion(&self, v: &MotionVec) -> MotionVec {
+        let ang = self.rot.transpose() * v.ang;
+        let lin = self.rot.transpose() * v.lin + self.trans.cross(&ang);
+        MotionVec::new(ang, lin)
+    }
+
+    /// Transforms a force vector from A-coordinates to B-coordinates:
+    /// `f_B = [E -E r×; 0 E] f_A`.
+    #[inline]
+    pub fn apply_force(&self, f: &ForceVec) -> ForceVec {
+        let lin = self.rot * f.lin;
+        let ang = self.rot * (f.ang - self.trans.cross(&f.lin));
+        ForceVec::new(ang, lin)
+    }
+
+    /// Transforms a force vector from B-coordinates back to A-coordinates
+    /// (`^A X_B^* f`, the adjoint used by the RNEA backward pass).
+    #[inline]
+    pub fn inv_apply_force(&self, f: &ForceVec) -> ForceVec {
+        let lin = self.rot.transpose() * f.lin;
+        let ang = self.rot.transpose() * f.ang + self.trans.cross(&lin);
+        ForceVec::new(ang, lin)
+    }
+
+    /// Composition: if `self = ^C X_B` and `rhs = ^B X_A`, returns `^C X_A`.
+    #[inline]
+    pub fn compose(&self, rhs: &Xform) -> Xform {
+        Xform::new(
+            self.rot * rhs.rot,
+            rhs.trans + rhs.rot.transpose() * self.trans,
+        )
+    }
+
+    /// The inverse transform `^A X_B`.
+    #[inline]
+    pub fn inverse(&self) -> Xform {
+        Xform::new(self.rot.transpose(), -(self.rot * self.trans))
+    }
+
+    /// The position of A's origin expressed in B coordinates.
+    #[inline]
+    pub fn origin_in_b(&self) -> Vec3 {
+        -(self.rot * self.trans)
+    }
+}
+
+impl fmt::Display for Xform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Xform(E={} r={})", self.rot, self.trans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arbitrary_xform() -> Xform {
+        Xform::rot_axis(Vec3::new(0.3, -0.5, 0.8).normalized(), 1.234)
+            .with_translation(Vec3::new(0.7, -0.2, 1.5))
+    }
+
+    #[test]
+    fn motion_roundtrip() {
+        let x = arbitrary_xform();
+        let v = MotionVec::from_slice(&[0.1, 0.2, -0.3, 1.0, -2.0, 0.5]);
+        let back = x.inv_apply_motion(&x.apply_motion(&v));
+        assert!((back - v).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_roundtrip() {
+        let x = arbitrary_xform();
+        let f = ForceVec::from_slice(&[2.0, -0.1, 0.4, 0.3, 0.9, -1.2]);
+        let back = x.inv_apply_force(&x.apply_force(&f));
+        assert!((back - f).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn duality_pairing_is_invariant() {
+        // ⟨Xv, X*f⟩ = ⟨v, f⟩ — power does not depend on the frame.
+        let x = arbitrary_xform();
+        let v = MotionVec::from_slice(&[0.1, 0.2, -0.3, 1.0, -2.0, 0.5]);
+        let f = ForceVec::from_slice(&[2.0, -0.1, 0.4, 0.3, 0.9, -1.2]);
+        let lhs = x.apply_motion(&v).dot_force(&x.apply_force(&f));
+        assert!((lhs - v.dot_force(&f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let bxa = arbitrary_xform();
+        let cxb = Xform::rot_y(0.4).with_translation(Vec3::new(-0.3, 0.0, 0.2));
+        let cxa = cxb.compose(&bxa);
+        let v = MotionVec::from_slice(&[0.5, -0.5, 0.25, 0.0, 1.0, 2.0]);
+        let lhs = cxa.apply_motion(&v);
+        let rhs = cxb.apply_motion(&bxa.apply_motion(&v));
+        assert!((lhs - rhs).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let x = arbitrary_xform();
+        let id = x.compose(&x.inverse());
+        assert!((id.rot - Mat3::identity()).max_abs() < 1e-12);
+        assert!(id.trans.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_commutes_with_transform() {
+        // X (a × b) = (X a) × (X b) — the cross product is equivariant.
+        let x = arbitrary_xform();
+        let a = MotionVec::from_slice(&[0.3, 0.1, -0.4, 0.2, 0.6, -0.1]);
+        let b = MotionVec::from_slice(&[-0.2, 0.5, 0.7, 1.1, 0.0, 0.9]);
+        let lhs = x.apply_motion(&a.cross_motion(&b));
+        let rhs = x.apply_motion(&a).cross_motion(&x.apply_motion(&b));
+        assert!((lhs - rhs).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_only_shifts_linear_velocity() {
+        let x = Xform::translation(Vec3::new(0.0, 0.0, 2.0));
+        let v = MotionVec::new(Vec3::unit_x(), Vec3::zero());
+        let vb = x.apply_motion(&v);
+        // The body point at +2z under ω = x̂ moves at ω × r = -2ŷ.
+        assert!((vb.lin - Vec3::new(0.0, -2.0, 0.0)).max_abs() < 1e-14);
+        assert!((vb.ang - Vec3::unit_x()).max_abs() < 1e-14);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the spatial-algebra laws the dynamics
+//! algorithms rely on.
+
+use proptest::prelude::*;
+use rbd_spatial::{ForceVec, Mat3, Mat6, MatN, MotionVec, SpatialInertia, Vec3, Xform};
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (-2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit3() -> impl Strategy<Value = Vec3> {
+    vec3().prop_filter_map("non-degenerate axis", |v| {
+        if v.norm() > 0.3 {
+            Some(v.normalized())
+        } else {
+            None
+        }
+    })
+}
+
+fn xform() -> impl Strategy<Value = Xform> {
+    (unit3(), -3.0f64..3.0, vec3())
+        .prop_map(|(axis, angle, trans)| Xform::rot_axis(axis, angle).with_translation(trans))
+}
+
+fn motion() -> impl Strategy<Value = MotionVec> {
+    (vec3(), vec3()).prop_map(|(a, l)| MotionVec::new(a, l))
+}
+
+fn force() -> impl Strategy<Value = ForceVec> {
+    (vec3(), vec3()).prop_map(|(a, l)| ForceVec::new(a, l))
+}
+
+fn inertia() -> impl Strategy<Value = SpatialInertia> {
+    (0.1f64..10.0, vec3(), 0.01f64..0.5, 0.01f64..0.5, 0.01f64..0.5).prop_map(
+        |(m, c, ix, iy, iz)| {
+            SpatialInertia::from_mass_com_inertia(
+                m,
+                c * 0.2,
+                Mat3::diagonal(Vec3::new(ix, iy, iz)),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn composition_is_associative(a in xform(), b in xform(), c in xform(), v in motion()) {
+        let lhs = a.compose(&b).compose(&c).apply_motion(&v);
+        let rhs = a.compose(&b.compose(&c)).apply_motion(&v);
+        prop_assert!((lhs - rhs).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_is_two_sided(x in xform(), v in motion()) {
+        let left = x.inverse().compose(&x).apply_motion(&v);
+        let right = x.compose(&x.inverse()).apply_motion(&v);
+        prop_assert!((left - v).max_abs() < 1e-10);
+        prop_assert!((right - v).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn duality_pairing_invariant(x in xform(), v in motion(), f in force()) {
+        let before = v.dot_force(&f);
+        let after = x.apply_motion(&v).dot_force(&x.apply_force(&f));
+        prop_assert!((before - after).abs() < 1e-9 * (1.0 + before.abs()));
+    }
+
+    #[test]
+    fn motion_cross_is_lie_bracket(x in xform(), a in motion(), b in motion()) {
+        // Ad_X [a,b] = [Ad_X a, Ad_X b]
+        let lhs = x.apply_motion(&a.cross_motion(&b));
+        let rhs = x.apply_motion(&a).cross_motion(&x.apply_motion(&b));
+        prop_assert!((lhs - rhs).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn inertia_energy_invariant_under_frame_change(i in inertia(), x in xform(), v in motion()) {
+        // ½ vᵀIv computed in either frame must agree.
+        let e_b = i.kinetic_energy(&v);
+        // v expressed in frame B; transform both to A (x = ^B X_A).
+        let v_a = x.inv_apply_motion(&v);
+        let i_a = i.transform_to_parent(&x);
+        let e_a = i_a.kinetic_energy(&v_a);
+        prop_assert!((e_a - e_b).abs() < 1e-8 * (1.0 + e_b.abs()));
+    }
+
+    #[test]
+    fn inertia_transform_matches_dense_congruence(i in inertia(), x in xform()) {
+        let analytic = i.transform_to_parent(&x).to_mat6();
+        let dense = i.to_mat6().congruence(&Mat6::from_xform_motion(&x));
+        prop_assert!((analytic - dense).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn inertia_is_positive_semidefinite(i in inertia(), v in motion()) {
+        prop_assert!(i.kinetic_energy(&v) >= -1e-12);
+    }
+
+    #[test]
+    fn ldlt_solves_random_spd(n in 2usize..12, seed in 0u64..500) {
+        // Build SPD via B Bᵀ + n·I with a deterministic pseudo-random B.
+        let b = MatN::from_fn(n, n, |i, j| {
+            let mut s = seed
+                .wrapping_add((i * 31 + j) as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s ^= s >> 29;
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        let mut a = b.mul_mat(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| 0.5 * i as f64 - 1.0).collect();
+        let rhs = a.mul_vec(&rbd_spatial::VecN::from_vec(x_true.clone()));
+        let x = a.solve(&rhs).unwrap();
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn quaternion_roundtrip_via_matrix(axis in unit3(), angle in -3.0f64..3.0) {
+        let q = rbd_spatial::Quat::from_axis_angle(axis, angle);
+        let q2 = rbd_spatial::Quat::from_rotation_matrix(&q.to_rotation_matrix());
+        prop_assert!((q.to_rotation_matrix() - q2.to_rotation_matrix()).max_abs() < 1e-9);
+    }
+}

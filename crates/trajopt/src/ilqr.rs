@@ -1,0 +1,385 @@
+//! Iterative LQR trajectory optimizer — the paper's representative TO /
+//! MPC consumer of batched dynamics and derivatives (Fig 1, Fig 2).
+//!
+//! Restricted to vector-space configuration models (`nq == nv`), which
+//! covers the fixed-base arms the optimizer examples use.
+
+use crate::integrator::{rk4_step, rk4_step_with_sensitivity, StepJacobians};
+use rbd_dynamics::DynamicsWorkspace;
+use rbd_model::RobotModel;
+use rbd_spatial::{MatN, VecN};
+use std::time::Instant;
+
+/// iLQR hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IlqrOptions {
+    /// Number of integration steps in the horizon.
+    pub horizon: usize,
+    /// Step length, seconds.
+    pub dt: f64,
+    /// Running weight on configuration error.
+    pub w_q: f64,
+    /// Running weight on velocity.
+    pub w_v: f64,
+    /// Running weight on control.
+    pub w_u: f64,
+    /// Terminal weight on configuration/velocity error.
+    pub w_terminal: f64,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Levenberg regularization added to `Q_uu`.
+    pub reg: f64,
+    /// Relative cost-decrease convergence threshold.
+    pub tol: f64,
+}
+
+impl Default for IlqrOptions {
+    fn default() -> Self {
+        Self {
+            horizon: 40,
+            dt: 0.02,
+            w_q: 2.0,
+            w_v: 0.05,
+            w_u: 1e-3,
+            w_terminal: 60.0,
+            max_iters: 30,
+            reg: 1e-6,
+            tol: 1e-7,
+        }
+    }
+}
+
+/// Result of an iLQR solve.
+#[derive(Debug, Clone)]
+pub struct IlqrResult {
+    /// Cost after every accepted iteration (index 0 = initial rollout).
+    pub cost_history: Vec<f64>,
+    /// Optimized controls.
+    pub us: Vec<Vec<f64>>,
+    /// State trajectory `(q, q̇)` under the optimized controls.
+    pub trajectory: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Whether the relative improvement dropped below `tol`.
+    pub converged: bool,
+    /// Wall time spent in the LQ approximation (dynamics+derivatives,
+    /// the Fig 2c "parallelizable" share).
+    pub lq_time_s: f64,
+    /// Wall time in the backward Riccati solve (serial share).
+    pub solver_time_s: f64,
+    /// Wall time in forward rollouts.
+    pub rollout_time_s: f64,
+}
+
+/// The optimizer.
+#[derive(Debug)]
+pub struct Ilqr<'m> {
+    model: &'m RobotModel,
+    options: IlqrOptions,
+    goal: Vec<f64>,
+}
+
+impl<'m> Ilqr<'m> {
+    /// Creates an optimizer steering towards `q_goal` at rest.
+    ///
+    /// # Panics
+    /// Panics unless `model.nq() == model.nv()` (vector-space models).
+    pub fn new(model: &'m RobotModel, q_goal: Vec<f64>, options: IlqrOptions) -> Self {
+        assert_eq!(
+            model.nq(),
+            model.nv(),
+            "iLQR example requires a vector-space configuration"
+        );
+        assert_eq!(q_goal.len(), model.nq());
+        Self {
+            model,
+            options,
+            goal: q_goal,
+        }
+    }
+
+    fn cost(&self, traj: &[(Vec<f64>, Vec<f64>)], us: &[Vec<f64>]) -> f64 {
+        let o = &self.options;
+        let nv = self.model.nv();
+        let mut c = 0.0;
+        for (k, u) in us.iter().enumerate() {
+            let (q, qd) = &traj[k];
+            for i in 0..nv {
+                let e = q[i] - self.goal[i];
+                c += 0.5 * o.w_q * e * e + 0.5 * o.w_v * qd[i] * qd[i] + 0.5 * o.w_u * u[i] * u[i];
+            }
+        }
+        let (qn, qdn) = traj.last().unwrap();
+        for i in 0..nv {
+            let e = qn[i] - self.goal[i];
+            c += 0.5 * o.w_terminal * (e * e + qdn[i] * qdn[i]);
+        }
+        c
+    }
+
+    fn rollout(
+        &self,
+        ws: &mut DynamicsWorkspace,
+        q0: &[f64],
+        qd0: &[f64],
+        us: &[Vec<f64>],
+    ) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let mut traj = vec![(q0.to_vec(), qd0.to_vec())];
+        for u in us {
+            let (q, qd) = traj.last().unwrap();
+            let next = rk4_step(self.model, ws, q, qd, u, self.options.dt);
+            traj.push(next);
+        }
+        traj
+    }
+
+    /// Runs the optimizer from `(q0, qd0)` with zero initial controls.
+    ///
+    /// # Panics
+    /// Panics if forward dynamics fails along the way.
+    pub fn solve(&self, q0: &[f64], qd0: &[f64]) -> IlqrResult {
+        let o = self.options;
+        let nv = self.model.nv();
+        let nx = 2 * nv;
+        let mut ws = DynamicsWorkspace::new(self.model);
+        let mut us = vec![vec![0.0; nv]; o.horizon];
+        let (mut lq_t, mut solver_t, mut rollout_t) = (0.0, 0.0, 0.0);
+
+        let t0 = Instant::now();
+        let mut traj = self.rollout(&mut ws, q0, qd0, &us);
+        rollout_t += t0.elapsed().as_secs_f64();
+        let mut cost = self.cost(&traj, &us);
+        let mut history = vec![cost];
+        let mut converged = false;
+
+        for _ in 0..o.max_iters {
+            // ---- LQ approximation (batched, parallelizable; Fig 2c).
+            let t = Instant::now();
+            let mut jacs: Vec<StepJacobians> = Vec::with_capacity(o.horizon);
+            for k in 0..o.horizon {
+                let (q, qd) = &traj[k];
+                let (_, _, j) =
+                    rk4_step_with_sensitivity(self.model, &mut ws, q, qd, &us[k], o.dt);
+                jacs.push(j);
+            }
+            lq_t += t.elapsed().as_secs_f64();
+
+            // ---- Backward Riccati pass (serial).
+            let t = Instant::now();
+            let mut vx = VecN::zeros(nx);
+            let mut vxx = MatN::zeros(nx, nx);
+            {
+                let (qn, qdn) = traj.last().unwrap();
+                for i in 0..nv {
+                    vx[i] = o.w_terminal * (qn[i] - self.goal[i]);
+                    vx[nv + i] = o.w_terminal * qdn[i];
+                    vxx[(i, i)] = o.w_terminal;
+                    vxx[(nv + i, nv + i)] = o.w_terminal;
+                }
+            }
+            let mut k_ff: Vec<VecN> = Vec::with_capacity(o.horizon);
+            let mut k_fb: Vec<MatN> = Vec::with_capacity(o.horizon);
+            let mut backward_ok = true;
+            for k in (0..o.horizon).rev() {
+                let (q, qd) = &traj[k];
+                let u = &us[k];
+                let mut lx = VecN::zeros(nx);
+                let mut lxx = MatN::zeros(nx, nx);
+                for i in 0..nv {
+                    lx[i] = o.w_q * (q[i] - self.goal[i]);
+                    lx[nv + i] = o.w_v * qd[i];
+                    lxx[(i, i)] = o.w_q;
+                    lxx[(nv + i, nv + i)] = o.w_v;
+                }
+                let a = &jacs[k].a;
+                let b = &jacs[k].b;
+                let at = a.transpose();
+                let bt = b.transpose();
+
+                let qx = &lx + &at.mul_vec(&vx);
+                let mut qu = bt.mul_vec(&vx);
+                for i in 0..nv {
+                    qu[i] += o.w_u * u[i];
+                }
+                let vxx_a = vxx.mul_mat(a);
+                let qxx = &lxx + &at.mul_mat(&vxx_a);
+                let mut quu = bt.mul_mat(&vxx.mul_mat(b));
+                for i in 0..nv {
+                    quu[(i, i)] += o.w_u + o.reg;
+                }
+                let qux = bt.mul_mat(&vxx_a);
+
+                let quu_inv = match quu.inverse_spd() {
+                    Ok(m) => m,
+                    Err(_) => {
+                        backward_ok = false;
+                        break;
+                    }
+                };
+                let kf = &quu_inv.mul_vec(&qu) * -1.0;
+                let kb = {
+                    let mut m = quu_inv.mul_mat(&qux);
+                    for i in 0..nv {
+                        for j in 0..nx {
+                            m[(i, j)] = -m[(i, j)];
+                        }
+                    }
+                    m
+                };
+
+                // Value update.
+                let kbt = kb.transpose();
+                let mut new_vx = &qx + &kbt.mul_vec(&qu);
+                let quu_k = quu.mul_vec(&kf);
+                new_vx += &kbt.mul_vec(&quu_k);
+                new_vx += &qux.transpose().mul_vec(&kf);
+                let mut new_vxx = &qxx + &kbt.mul_mat(&quu.mul_mat(&kb));
+                let cross = qux.transpose().mul_mat(&kb);
+                for i in 0..nx {
+                    for j in 0..nx {
+                        new_vxx[(i, j)] += cross[(i, j)] + cross[(j, i)];
+                    }
+                }
+                vx = new_vx;
+                vxx = new_vxx;
+                k_ff.push(kf);
+                k_fb.push(kb);
+            }
+            solver_t += t.elapsed().as_secs_f64();
+            if !backward_ok {
+                break;
+            }
+            k_ff.reverse();
+            k_fb.reverse();
+
+            // ---- Forward pass with line search.
+            let t = Instant::now();
+            let mut accepted = false;
+            for &alpha in &[1.0, 0.5, 0.25, 0.1, 0.03] {
+                let mut new_us = Vec::with_capacity(o.horizon);
+                let mut new_traj = vec![traj[0].clone()];
+                for k in 0..o.horizon {
+                    let (q, qd) = new_traj.last().unwrap().clone();
+                    let mut dx = VecN::zeros(nx);
+                    for i in 0..nv {
+                        dx[i] = q[i] - traj[k].0[i];
+                        dx[nv + i] = qd[i] - traj[k].1[i];
+                    }
+                    let fb = k_fb[k].mul_vec(&dx);
+                    let u: Vec<f64> = (0..nv)
+                        .map(|i| us[k][i] + alpha * k_ff[k][i] + fb[i])
+                        .collect();
+                    let next = rk4_step(self.model, &mut ws, &q, &qd, &u, o.dt);
+                    new_us.push(u);
+                    new_traj.push(next);
+                }
+                let new_cost = self.cost(&new_traj, &new_us);
+                if new_cost < cost {
+                    let rel = (cost - new_cost) / cost.max(1e-12);
+                    us = new_us;
+                    traj = new_traj;
+                    cost = new_cost;
+                    history.push(cost);
+                    accepted = true;
+                    if rel < o.tol {
+                        converged = true;
+                    }
+                    break;
+                }
+            }
+            rollout_t += t.elapsed().as_secs_f64();
+            if !accepted || converged {
+                converged = converged || !accepted;
+                break;
+            }
+        }
+
+        IlqrResult {
+            cost_history: history,
+            us,
+            trajectory: traj,
+            converged,
+            lq_time_s: lq_t,
+            solver_time_s: solver_t,
+            rollout_time_s: rollout_t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_model::robots;
+
+    #[test]
+    fn cost_decreases_monotonically() {
+        let model = robots::serial_chain(2);
+        let goal = vec![0.6, -0.4];
+        let ilqr = Ilqr::new(
+            &model,
+            goal,
+            IlqrOptions {
+                horizon: 25,
+                max_iters: 12,
+                ..IlqrOptions::default()
+            },
+        );
+        let q0 = vec![0.0; 2];
+        let qd0 = vec![0.0; 2];
+        let r = ilqr.solve(&q0, &qd0);
+        assert!(r.cost_history.len() >= 2, "no accepted iteration");
+        for w in r.cost_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(*r.cost_history.last().unwrap() < 0.5 * r.cost_history[0]);
+    }
+
+    #[test]
+    fn reaches_goal_neighborhood() {
+        let model = robots::serial_chain(2);
+        let goal = vec![0.3, 0.2];
+        let ilqr = Ilqr::new(
+            &model,
+            goal.clone(),
+            IlqrOptions {
+                horizon: 35,
+                max_iters: 25,
+                w_terminal: 150.0,
+                ..IlqrOptions::default()
+            },
+        );
+        let r = ilqr.solve(&vec![0.0; 2], &vec![0.0; 2]);
+        let (qn, _) = r.trajectory.last().unwrap();
+        for i in 0..2 {
+            assert!(
+                (qn[i] - goal[i]).abs() < 0.15,
+                "final q[{i}] = {} vs goal {}",
+                qn[i],
+                goal[i]
+            );
+        }
+    }
+
+    #[test]
+    fn timing_breakdown_populated() {
+        let model = robots::serial_chain(2);
+        let ilqr = Ilqr::new(
+            &model,
+            vec![0.1, 0.1],
+            IlqrOptions {
+                horizon: 10,
+                max_iters: 3,
+                ..IlqrOptions::default()
+            },
+        );
+        let r = ilqr.solve(&vec![0.0; 2], &vec![0.0; 2]);
+        assert!(r.lq_time_s > 0.0);
+        assert!(r.solver_time_s > 0.0);
+        assert!(r.rollout_time_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_quaternion_models() {
+        let model = robots::hyq();
+        let _ = Ilqr::new(&model, vec![0.0; 18], IlqrOptions::default());
+    }
+}

@@ -1,0 +1,319 @@
+//! Manifold integrators and their discrete sensitivities.
+//!
+//! The 4th-order Runge-Kutta sensitivity analysis is the paper's
+//! canonical partially-serial workload (Fig 13): each step makes four
+//! *serial* ΔFD calls, while steps at different sampling points are
+//! independent.
+
+use rbd_dynamics::{fd_derivatives, DynamicsWorkspace};
+use rbd_model::{integrate_config, RobotModel};
+use rbd_spatial::MatN;
+
+/// Discrete dynamics Jacobians of one integration step in tangent
+/// coordinates: `δx⁺ ≈ A δx + B δu` with `x = (q, q̇) ∈ R^{2nv}`.
+#[derive(Debug, Clone)]
+pub struct StepJacobians {
+    /// `∂x⁺/∂x`, `2nv × 2nv`.
+    pub a: MatN,
+    /// `∂x⁺/∂u`, `2nv × nv`.
+    pub b: MatN,
+}
+
+/// One semi-implicit Euler step: `q̇⁺ = q̇ + h·FD`, `q⁺ = q ⊕ h·q̇⁺`.
+///
+/// # Panics
+/// Panics if forward dynamics fails (singular mass matrix).
+pub fn semi_implicit_euler_step(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    h: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let qdd = rbd_dynamics::forward_dynamics(model, ws, q, qd, tau, None).expect("fd");
+    let qd_new: Vec<f64> = qd.iter().zip(&qdd).map(|(v, a)| v + h * a).collect();
+    let q_new = integrate_config(model, q, &qd_new, h);
+    (q_new, qd_new)
+}
+
+/// One classical RK4 step on the configuration manifold.
+///
+/// # Panics
+/// Panics if forward dynamics fails.
+pub fn rk4_step(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    h: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let fd = |ws: &mut DynamicsWorkspace, q: &[f64], qd: &[f64]| {
+        rbd_dynamics::forward_dynamics(model, ws, q, qd, tau, None).expect("fd")
+    };
+    let nv = model.nv();
+    let k1v = qd.to_vec();
+    let k1a = fd(ws, q, qd);
+
+    let q2 = integrate_config(model, q, &k1v, h / 2.0);
+    let qd2: Vec<f64> = (0..nv).map(|i| qd[i] + h / 2.0 * k1a[i]).collect();
+    let k2a = fd(ws, &q2, &qd2);
+
+    let q3 = integrate_config(model, q, &qd2, h / 2.0);
+    let qd3: Vec<f64> = (0..nv).map(|i| qd[i] + h / 2.0 * k2a[i]).collect();
+    let k3a = fd(ws, &q3, &qd3);
+
+    let q4 = integrate_config(model, q, &qd3, h);
+    let qd4: Vec<f64> = (0..nv).map(|i| qd[i] + h * k3a[i]).collect();
+    let k4a = fd(ws, &q4, &qd4);
+
+    let vbar: Vec<f64> = (0..nv)
+        .map(|i| (k1v[i] + 2.0 * qd2[i] + 2.0 * qd3[i] + qd4[i]) / 6.0)
+        .collect();
+    let q_new = integrate_config(model, q, &vbar, h);
+    let qd_new: Vec<f64> = (0..nv)
+        .map(|i| qd[i] + h / 6.0 * (k1a[i] + 2.0 * k2a[i] + 2.0 * k3a[i] + k4a[i]))
+        .collect();
+    (q_new, qd_new)
+}
+
+/// Tangent-space derivative bookkeeping of one RK4 stage quantity.
+#[derive(Clone)]
+struct Sens {
+    /// w.r.t. δq (nv × nv)
+    dq: MatN,
+    /// w.r.t. δq̇ (nv × nv)
+    dqd: MatN,
+    /// w.r.t. δu (nv × nv)
+    du: MatN,
+}
+
+impl Sens {
+    fn axpy(&self, s: f64, other: &Sens) -> Sens {
+        let f = |a: &MatN, b: &MatN| {
+            let mut out = a.clone();
+            for i in 0..out.rows() {
+                for j in 0..out.cols() {
+                    out[(i, j)] += s * b[(i, j)];
+                }
+            }
+            out
+        };
+        Sens {
+            dq: f(&self.dq, &other.dq),
+            dqd: f(&self.dqd, &other.dqd),
+            du: f(&self.du, &other.du),
+        }
+    }
+}
+
+/// One RK4 step together with its discrete Jacobians, computed from four
+/// serial ΔFD evaluations (the Fig 13 sub-task chain).
+///
+/// Derivatives are taken in tangent coordinates; for quaternion joints
+/// the transport of the configuration tangent across the step is
+/// approximated to first order in `h` (exact for 1-DOF joints).
+///
+/// # Panics
+/// Panics if forward dynamics fails.
+pub fn rk4_step_with_sensitivity(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    h: f64,
+) -> (Vec<f64>, Vec<f64>, StepJacobians) {
+    let nv = model.nv();
+    let eye = MatN::identity(nv);
+    let zero = MatN::zeros(nv, nv);
+
+    // Stage evaluator: ΔFD at (q_i, qd_i) and chain rule through the
+    // stage state sensitivities (sq, sqd) = d(q_i, qd_i)/d(x,u).
+    let mut stage = |q_i: &[f64], qd_i: &[f64], sq: &Sens, sqd: &Sens| -> (Vec<f64>, Sens, Sens) {
+        let d = fd_derivatives(model, ws, q_i, qd_i, tau, None).expect("ΔFD");
+        // k_v = qd_i → sensitivity is sqd.
+        // k_a = FD(q_i, qd_i, u) → dk_a/dz = Jq·sq + Jqd·sqd (+ Minv du).
+        let chain = |m: &MatN, s: &MatN| m.mul_mat(s);
+        let mut du = chain(&d.dqdd_dq, &sq.du);
+        let du2 = chain(&d.dqdd_dqd, &sqd.du);
+        for i in 0..nv {
+            for j in 0..nv {
+                du[(i, j)] += du2[(i, j)] + d.dqdd_dtau[(i, j)];
+            }
+        }
+        let ka_sens = Sens {
+            dq: &chain(&d.dqdd_dq, &sq.dq) + &chain(&d.dqdd_dqd, &sqd.dq),
+            dqd: &chain(&d.dqdd_dq, &sq.dqd) + &chain(&d.dqdd_dqd, &sqd.dqd),
+            du,
+        };
+        (d.qdd, ka_sens, sqd.clone())
+    };
+
+    // Identity sensitivities of the initial state.
+    let s_q0 = Sens {
+        dq: eye.clone(),
+        dqd: zero.clone(),
+        du: zero.clone(),
+    };
+    let s_qd0 = Sens {
+        dq: zero.clone(),
+        dqd: eye.clone(),
+        du: zero.clone(),
+    };
+
+    // Stage 1.
+    let (k1a, s_k1a, s_k1v) = stage(q, qd, &s_q0, &s_qd0);
+    // Stage 2: q2 = q ⊕ (h/2 k1v), qd2 = qd + h/2 k1a.
+    let q2 = integrate_config(model, q, qd, h / 2.0);
+    let qd2: Vec<f64> = (0..nv).map(|i| qd[i] + h / 2.0 * k1a[i]).collect();
+    let s_q2 = s_q0.axpy(h / 2.0, &s_k1v);
+    let s_qd2 = s_qd0.axpy(h / 2.0, &s_k1a);
+    let (k2a, s_k2a, s_k2v) = stage(&q2, &qd2, &s_q2, &s_qd2);
+    // Stage 3.
+    let q3 = integrate_config(model, q, &qd2, h / 2.0);
+    let qd3: Vec<f64> = (0..nv).map(|i| qd[i] + h / 2.0 * k2a[i]).collect();
+    let s_q3 = s_q0.axpy(h / 2.0, &s_k2v);
+    let s_qd3 = s_qd0.axpy(h / 2.0, &s_k2a);
+    let (k3a, s_k3a, s_k3v) = stage(&q3, &qd3, &s_q3, &s_qd3);
+    // Stage 4.
+    let q4 = integrate_config(model, q, &qd3, h);
+    let qd4: Vec<f64> = (0..nv).map(|i| qd[i] + h * k3a[i]).collect();
+    let s_q4 = s_q0.axpy(h, &s_k3v);
+    let s_qd4 = s_qd0.axpy(h, &s_k3a);
+    let (k4a, s_k4a, s_k4v) = stage(&q4, &qd4, &s_q4, &s_qd4);
+
+    // Combine.
+    let vbar: Vec<f64> = (0..nv)
+        .map(|i| (qd[i] + 2.0 * qd2[i] + 2.0 * qd3[i] + qd4[i]) / 6.0)
+        .collect();
+    let q_new = integrate_config(model, q, &vbar, h);
+    let qd_new: Vec<f64> = (0..nv)
+        .map(|i| qd[i] + h / 6.0 * (k1a[i] + 2.0 * k2a[i] + 2.0 * k3a[i] + k4a[i]))
+        .collect();
+
+    let s_vbar = s_k1v
+        .axpy(2.0, &s_k2v)
+        .axpy(2.0, &s_k3v)
+        .axpy(1.0, &s_k4v);
+    let s_abar = s_k1a
+        .axpy(2.0, &s_k2a)
+        .axpy(2.0, &s_k3a)
+        .axpy(1.0, &s_k4a);
+    let s_q_new = s_q0.axpy(h / 6.0, &s_vbar);
+    let s_qd_new = s_qd0.axpy(h / 6.0, &s_abar);
+
+    // Pack into block matrices.
+    let mut a = MatN::zeros(2 * nv, 2 * nv);
+    let mut b = MatN::zeros(2 * nv, nv);
+    for i in 0..nv {
+        for j in 0..nv {
+            a[(i, j)] = s_q_new.dq[(i, j)];
+            a[(i, nv + j)] = s_q_new.dqd[(i, j)];
+            a[(nv + i, j)] = s_qd_new.dq[(i, j)];
+            a[(nv + i, nv + j)] = s_qd_new.dqd[(i, j)];
+            b[(i, j)] = s_q_new.du[(i, j)];
+            b[(nv + i, j)] = s_qd_new.du[(i, j)];
+        }
+    }
+    (q_new, qd_new, StepJacobians { a, b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_dynamics::total_energy;
+    use rbd_model::{random_state, robots};
+
+    #[test]
+    fn rk4_more_accurate_than_euler() {
+        let model = robots::iiwa();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 1);
+        let tau = vec![0.0; model.nv()];
+        let e0 = total_energy(&model, &mut ws, &s.q, &s.qd);
+
+        let run = |steps: usize, h: f64, rk4: bool| {
+            let mut ws = DynamicsWorkspace::new(&model);
+            let (mut q, mut qd) = (s.q.clone(), s.qd.clone());
+            for _ in 0..steps {
+                let (qn, qdn) = if rk4 {
+                    rk4_step(&model, &mut ws, &q, &qd, &tau, h)
+                } else {
+                    semi_implicit_euler_step(&model, &mut ws, &q, &qd, &tau, h)
+                };
+                q = qn;
+                qd = qdn;
+            }
+            (total_energy(&model, &mut ws, &q, &qd) - e0).abs()
+        };
+        let drift_rk4 = run(100, 2e-3, true);
+        let drift_euler = run(100, 2e-3, false);
+        assert!(
+            drift_rk4 < drift_euler,
+            "rk4 {drift_rk4} vs euler {drift_euler}"
+        );
+    }
+
+    #[test]
+    fn sensitivity_matches_finite_difference() {
+        let model = robots::iiwa();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 2);
+        let tau: Vec<f64> = (0..model.nv()).map(|k| 0.4 - 0.1 * k as f64).collect();
+        let h = 0.01;
+        let nv = model.nv();
+
+        let (_, _, jac) = rk4_step_with_sensitivity(&model, &mut ws, &s.q, &s.qd, &tau, h);
+
+        let eps = 1e-6;
+        // Perturb each state coordinate and difference the step.
+        for j in 0..2 * nv {
+            let mut perturb = |sign: f64| -> (Vec<f64>, Vec<f64>) {
+                let mut q = s.q.clone();
+                let mut qd = s.qd.clone();
+                if j < nv {
+                    let mut dv = vec![0.0; nv];
+                    dv[j] = sign * eps;
+                    q = integrate_config(&model, &q, &dv, 1.0);
+                } else {
+                    qd[j - nv] += sign * eps;
+                }
+                rk4_step(&model, &mut ws, &q, &qd, &tau, h)
+            };
+            let (qp, qdp) = perturb(1.0);
+            let (qm, qdm) = perturb(-1.0);
+            for i in 0..nv {
+                let num_q = (qp[i] - qm[i]) / (2.0 * eps);
+                let num_qd = (qdp[i] - qdm[i]) / (2.0 * eps);
+                assert!(
+                    (jac.a[(i, j)] - num_q).abs() < 2e-4,
+                    "A[{i},{j}]: {} vs {num_q}",
+                    jac.a[(i, j)]
+                );
+                assert!(
+                    (jac.a[(nv + i, j)] - num_qd).abs() < 2e-4,
+                    "A[{},{j}]: {} vs {num_qd}",
+                    nv + i,
+                    jac.a[(nv + i, j)]
+                );
+            }
+        }
+        // Control Jacobian.
+        for j in 0..nv {
+            let mut tp = tau.clone();
+            let mut tm = tau.clone();
+            tp[j] += eps;
+            tm[j] -= eps;
+            let (qp, qdp) = rk4_step(&model, &mut ws, &s.q, &s.qd, &tp, h);
+            let (qm, qdm) = rk4_step(&model, &mut ws, &s.q, &s.qd, &tm, h);
+            for i in 0..nv {
+                let num_q = (qp[i] - qm[i]) / (2.0 * eps);
+                let num_qd = (qdp[i] - qdm[i]) / (2.0 * eps);
+                assert!((jac.b[(i, j)] - num_q).abs() < 2e-4);
+                assert!((jac.b[(nv + i, j)] - num_qd).abs() < 2e-4);
+            }
+        }
+    }
+}

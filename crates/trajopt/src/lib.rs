@@ -1,0 +1,25 @@
+//! Trajectory optimization and MPC on top of `rbd-dynamics` — the
+//! application layer that motivates the accelerator (Fig 1/2 of the
+//! paper) and the end-to-end experiment of §VI-B.
+//!
+//! * [`integrator`] — manifold RK4/Euler integration and exact discrete
+//!   sensitivities built from ΔFD (the four serial sub-tasks of Fig 13);
+//! * [`ilqr`] — an iterative LQR trajectory optimizer whose "LQ
+//!   approximation" phase is the batched dynamics+derivatives workload
+//!   the paper profiles in Fig 2c;
+//! * [`workload`] — the profiled MPC workload generator with its task
+//!   breakdown;
+//! * [`scheduler`] — the Fig 13 pipeline-vs-multithread scheduling model
+//!   for partially serial RK4 sensitivity chains.
+
+pub mod ilqr;
+pub mod mpc;
+pub mod integrator;
+pub mod scheduler;
+pub mod workload;
+
+pub use ilqr::{Ilqr, IlqrOptions, IlqrResult};
+pub use mpc::{run_mpc, MpcRun};
+pub use integrator::{rk4_step, rk4_step_with_sensitivity, semi_implicit_euler_step, StepJacobians};
+pub use scheduler::{accel_makespan_cycles, cpu_makespan, ScheduleInputs};
+pub use workload::{profile_mpc_iteration, WorkloadProfile};

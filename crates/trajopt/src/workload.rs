@@ -1,0 +1,131 @@
+//! The profiled MPC workload of Fig 2: one model-predictive-control
+//! iteration decomposed into its task classes, with wall-clock
+//! measurement of each class on the host.
+
+use crate::integrator::rk4_step_with_sensitivity;
+use rbd_dynamics::DynamicsWorkspace;
+use rbd_model::{random_state, RobotModel};
+use rbd_spatial::MatN;
+use std::time::Instant;
+
+/// Wall-clock breakdown of one MPC iteration (the Fig 2c pie).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// LQ approximation: dynamics + derivatives at every sampling point
+    /// (parallelizable; contains `derivatives_s`).
+    pub lq_approx_s: f64,
+    /// The derivatives-of-dynamics share inside the LQ approximation
+    /// (the paper highlights 23.61%).
+    pub derivatives_s: f64,
+    /// Backward Riccati-style solve (serial).
+    pub solver_s: f64,
+    /// Everything else (rollout, cost bookkeeping).
+    pub other_s: f64,
+}
+
+impl WorkloadProfile {
+    /// Total iteration time.
+    pub fn total_s(&self) -> f64 {
+        self.lq_approx_s + self.solver_s + self.other_s
+    }
+
+    /// Fraction of the iteration spent in the LQ approximation.
+    pub fn lq_fraction(&self) -> f64 {
+        self.lq_approx_s / self.total_s()
+    }
+
+    /// Fraction spent in derivatives of dynamics.
+    pub fn derivatives_fraction(&self) -> f64 {
+        self.derivatives_s / self.total_s()
+    }
+}
+
+/// Profiles one MPC iteration with `n_points` sampling points on
+/// `model`: per point an RK4 sensitivity evaluation (4 serial ΔFD
+/// sub-tasks), then a serial backward pass over the collected Jacobians.
+pub fn profile_mpc_iteration(model: &RobotModel, n_points: usize) -> WorkloadProfile {
+    let mut ws = DynamicsWorkspace::new(model);
+    let nv = model.nv();
+    let dt = 0.01;
+    let tau = vec![0.0; nv];
+    let states: Vec<_> = (0..n_points).map(|i| random_state(model, i as u64)).collect();
+
+    // Derivatives-only share, measured on the same points.
+    let t = Instant::now();
+    for s in &states {
+        let d = rbd_dynamics::fd_derivatives(model, &mut ws, &s.q, &s.qd, &tau, None)
+            .expect("ΔFD");
+        std::hint::black_box(&d);
+    }
+    let derivatives_s = t.elapsed().as_secs_f64() * 4.0; // 4 RK4 stages
+
+    // Full LQ approximation (RK4 sensitivities per point).
+    let t = Instant::now();
+    let mut jacs = Vec::with_capacity(n_points);
+    for s in &states {
+        let (_, _, j) = rk4_step_with_sensitivity(model, &mut ws, &s.q, &s.qd, &tau, dt);
+        jacs.push(j);
+    }
+    let lq_approx_s = t.elapsed().as_secs_f64();
+
+    // Serial backward sweep over the Jacobians (Riccati-like chain).
+    let t = Instant::now();
+    let nx = 2 * nv;
+    let mut v = MatN::identity(nx);
+    for j in jacs.iter().rev() {
+        v = j.a.transpose().mul_mat(&v.mul_mat(&j.a));
+        // Keep it bounded.
+        let scale = v.max_abs().max(1.0);
+        for i in 0..nx {
+            for k in 0..nx {
+                v[(i, k)] /= scale;
+            }
+        }
+    }
+    std::hint::black_box(&v);
+    let solver_s = t.elapsed().as_secs_f64();
+
+    // Rollout / bookkeeping.
+    let t = Instant::now();
+    for s in &states {
+        let step = crate::integrator::rk4_step(model, &mut ws, &s.q, &s.qd, &tau, dt);
+        std::hint::black_box(&step);
+    }
+    let other_s = t.elapsed().as_secs_f64();
+
+    WorkloadProfile {
+        lq_approx_s,
+        derivatives_s: derivatives_s.min(lq_approx_s),
+        solver_s,
+        other_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_model::robots;
+
+    #[test]
+    fn lq_approximation_dominates() {
+        // Fig 2c: the LQ approximation is the large parallelizable share.
+        let m = robots::hyq();
+        let p = profile_mpc_iteration(&m, 24);
+        assert!(
+            p.lq_fraction() > 0.4,
+            "LQ fraction only {}",
+            p.lq_fraction()
+        );
+        assert!(p.derivatives_fraction() > 0.1);
+        assert!(p.derivatives_s <= p.lq_approx_s);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let m = robots::iiwa();
+        let p = profile_mpc_iteration(&m, 8);
+        let sum = p.lq_approx_s + p.solver_s + p.other_s;
+        assert!((p.total_s() - sum).abs() < 1e-12);
+        assert!(p.total_s() > 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the dynamics invariants over random
+//! kinematic trees and random states (proptest).
+
+use dadu_rbd::dynamics::{
+    aba, crba, forward_dynamics, kinetic_energy, mminv_gen, rnea, DynamicsWorkspace,
+};
+use dadu_rbd::model::{integrate_config, robots};
+use dadu_rbd::spatial::{MatN, VecN};
+use proptest::prelude::*;
+
+fn tree_strategy() -> impl Strategy<Value = (usize, u64)> {
+    (2usize..12, 0u64..1000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FD ∘ ID is the identity on accelerations, for arbitrary trees.
+    #[test]
+    fn fd_inverts_id((n, seed) in tree_strategy(), state_seed in 0u64..1000) {
+        let model = robots::random_tree(n, seed);
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = dadu_rbd::model::random_state(&model, state_seed);
+        let qdd: Vec<f64> = (0..model.nv()).map(|k| 0.3 - 0.04 * k as f64).collect();
+        let tau = rnea(&model, &mut ws, &s.q, &s.qd, &qdd, None);
+        let back = forward_dynamics(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        for k in 0..model.nv() {
+            prop_assert!((back[k] - qdd[k]).abs() < 1e-6 * (1.0 + qdd[k].abs()));
+        }
+    }
+
+    /// The two forward-dynamics implementations agree (Eq. 2 vs ABA).
+    #[test]
+    fn minv_path_equals_aba((n, seed) in tree_strategy()) {
+        let model = robots::random_tree(n, seed);
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = dadu_rbd::model::random_state(&model, seed ^ 0xABCD);
+        let tau: Vec<f64> = (0..model.nv()).map(|k| 0.5 - 0.07 * k as f64).collect();
+        let a = forward_dynamics(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        let b = aba(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        for k in 0..model.nv() {
+            prop_assert!((a[k] - b[k]).abs() < 1e-6 * (1.0 + b[k].abs()));
+        }
+    }
+
+    /// The mass matrix is symmetric positive definite, and MMinvGen's
+    /// inverse really inverts it.
+    #[test]
+    fn mass_matrix_spd_and_inverted((n, seed) in tree_strategy()) {
+        let model = robots::random_tree(n, seed);
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = dadu_rbd::model::random_state(&model, seed.wrapping_mul(31));
+        let out = mminv_gen(&model, &mut ws, &s.q, true, true).unwrap();
+        let m = out.m.unwrap();
+        let minv = out.minv.unwrap();
+        prop_assert!(m.is_symmetric(1e-8 * (1.0 + m.max_abs())));
+        prop_assert!(m.cholesky().is_ok());
+        let nv = model.nv();
+        let prod = m.mul_mat(&minv);
+        let err = (&prod - &MatN::identity(nv)).max_abs();
+        prop_assert!(err < 1e-6 * (1.0 + m.max_abs()), "M·Minv error {}", err);
+    }
+
+    /// Kinetic energy equals the mass-matrix quadratic form.
+    #[test]
+    fn energy_quadratic_form((n, seed) in tree_strategy()) {
+        let model = robots::random_tree(n, seed);
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = dadu_rbd::model::random_state(&model, seed ^ 0x55);
+        let ke = kinetic_energy(&model, &mut ws, &s.q, &s.qd);
+        let m = crba(&model, &mut ws, &s.q);
+        let qd = VecN::from_vec(s.qd.clone());
+        let quad = 0.5 * qd.dot(&m.mul_vec(&qd));
+        prop_assert!((ke - quad).abs() < 1e-8 * (1.0 + quad.abs()));
+    }
+
+    /// Torque is affine in q̈ with slope M (the Eq. 1 structure the
+    /// multifunction reuse relies on).
+    #[test]
+    fn torque_affine_in_qdd((n, seed) in tree_strategy(), scale in 0.1f64..3.0) {
+        let model = robots::random_tree(n, seed);
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = dadu_rbd::model::random_state(&model, seed ^ 0x77);
+        let nv = model.nv();
+        let dir: Vec<f64> = (0..nv).map(|k| ((k * 13 % 7) as f64 - 3.0) / 3.0).collect();
+        let zero = vec![0.0; nv];
+        let scaled: Vec<f64> = dir.iter().map(|x| x * scale).collect();
+
+        let t0 = rnea(&model, &mut ws, &s.q, &s.qd, &zero, None);
+        let t1 = rnea(&model, &mut ws, &s.q, &s.qd, &scaled, None);
+        let m = crba(&model, &mut ws, &s.q);
+        let m_dir = m.mul_vec(&VecN::from_vec(dir.clone()));
+        for k in 0..nv {
+            let predicted = t0[k] + scale * m_dir[k];
+            prop_assert!(
+                (t1[k] - predicted).abs() < 1e-6 * (1.0 + predicted.abs()),
+                "dof {}: {} vs {}", k, t1[k], predicted
+            );
+        }
+    }
+
+    /// Configuration integration is consistent: integrating by v then by
+    /// -v returns to the start (up to first-order manifold error ~ dt²).
+    #[test]
+    fn integrate_approximately_reversible((n, seed) in tree_strategy(), dt in 0.0001f64..0.01) {
+        let model = robots::random_tree(n, seed);
+        let s = dadu_rbd::model::random_state(&model, seed ^ 0x99);
+        let v: Vec<f64> = (0..model.nv()).map(|k| 0.5 - 0.08 * k as f64).collect();
+        let fwd = integrate_config(&model, &s.q, &v, dt);
+        let back = integrate_config(&model, &fwd, &v, -dt);
+        for i in 0..model.nq() {
+            prop_assert!((back[i] - s.q[i]).abs() < 10.0 * dt * dt + 1e-12);
+        }
+    }
+}
+
+/// Power balance: d/dt(KE) = q̇ᵀτ - q̇ᵀg(q) where τ is the applied torque
+/// (checked numerically along a short ABA rollout).
+#[test]
+fn power_balance_along_trajectory() {
+    let model = robots::iiwa();
+    let mut ws = DynamicsWorkspace::new(&model);
+    let s = dadu_rbd::model::random_state(&model, 5);
+    let (mut q, mut qd) = (s.q.clone(), s.qd.clone());
+    let tau: Vec<f64> = (0..model.nv()).map(|k| 0.5 - 0.1 * k as f64).collect();
+    let dt = 1e-5;
+    for _ in 0..50 {
+        let e0 = dadu_rbd::dynamics::total_energy(&model, &mut ws, &q, &qd);
+        let qdd = aba(&model, &mut ws, &q, &qd, &tau, None).unwrap();
+        let qd_new: Vec<f64> = qd.iter().zip(&qdd).map(|(v, a)| v + dt * a).collect();
+        let q_new = integrate_config(&model, &q, &qd, dt);
+        let e1 = dadu_rbd::dynamics::total_energy(&model, &mut ws, &q_new, &qd_new);
+        // Work done by the actuators over the step.
+        let work: f64 = qd.iter().zip(&tau).map(|(v, t)| v * t * dt).sum();
+        assert!(
+            ((e1 - e0) - work).abs() < 5e-6 * (1.0 + work.abs()),
+            "energy balance violated: dE {} vs work {}",
+            e1 - e0,
+            work
+        );
+        q = q_new;
+        qd = qd_new;
+    }
+}
