@@ -501,11 +501,7 @@ mod tests {
         for m in robots::paper_robots() {
             let d = DaduRbd::configure(&m, AccelConfig::default());
             let u = d.resource_usage();
-            assert!(
-                d.device().fits(&u),
-                "{} does not fit: {u}",
-                m.name()
-            );
+            assert!(d.device().fits(&u), "{} does not fit: {u}", m.name());
         }
     }
 

@@ -157,8 +157,11 @@ impl<'m> FunctionalEngine<'m> {
         match joint.jtype {
             JointType::Revolute(axis) => {
                 let (s, c) = trig[i].sc[0];
-                Xform::new(Mat3::rotation_axis_sc(axis, s, c).transpose(), rbd_spatial::Vec3::zero())
-                    .compose(&joint.placement)
+                Xform::new(
+                    Mat3::rotation_axis_sc(axis, s, c).transpose(),
+                    rbd_spatial::Vec3::zero(),
+                )
+                .compose(&joint.placement)
             }
             JointType::Planar => {
                 let (s, c) = trig[i].sc[0];
@@ -236,7 +239,14 @@ impl<'m> FunctionalEngine<'m> {
             let x = self.build_xup(i, q, &trig);
             let f = dtr[i].f + btr_acc[i];
             let vo = self.model.v_offset(i);
-            for (k, s) in self.model.joint(i).jtype.motion_subspace().iter().enumerate() {
+            for (k, s) in self
+                .model
+                .joint(i)
+                .jtype
+                .motion_subspace()
+                .iter()
+                .enumerate()
+            {
                 tau[vo + k] = s.dot_force(&f);
             }
             if let Some(p) = self.model.topology().parent(i) {
@@ -420,8 +430,16 @@ impl<'m> FunctionalEngine<'m> {
         let nv = model.nv();
         let trig = self.trig(q);
 
-        let mut m_mat = if out_m { Some(MatN::zeros(nv, nv)) } else { None };
-        let mut minv = if out_minv { Some(MatN::zeros(nv, nv)) } else { None };
+        let mut m_mat = if out_m {
+            Some(MatN::zeros(nv, nv))
+        } else {
+            None
+        };
+        let mut minv = if out_minv {
+            Some(MatN::zeros(nv, nv))
+        } else {
+            None
+        };
 
         // btr accumulation slots at each body (lazy update, §IV-A3).
         let mut ia_acc: Vec<rbd_spatial::Mat6> = vec![rbd_spatial::Mat6::zero(); nb];
@@ -546,8 +564,8 @@ impl<'m> FunctionalEngine<'m> {
                         // the composite path (the hardware never runs
                         // both modes in one task).
                         let mut ws = DynamicsWorkspace::new(model);
-                        let out = mminv_gen(model, &mut ws, q, true, false)
-                            .expect("BF module M path");
+                        let out =
+                            mminv_gen(model, &mut ws, q, true, false).expect("BF module M path");
                         *m = out.m.unwrap();
                         u_cols[i] = u;
                         d_inv[i] = dinv;
@@ -566,11 +584,8 @@ impl<'m> FunctionalEngine<'m> {
                     }
                 }
                 if let Some(p) = model.topology().parent(i) {
-                    for a in 0..ni {
-                        f_m[i][bi + a] = u_m[a];
-                    }
-                    let all: Vec<usize> =
-                        (bi..bi + ni).chain(desc_dofs.iter().copied()).collect();
+                    f_m[i][bi..bi + ni].copy_from_slice(&u_m[..ni]);
+                    let all: Vec<usize> = (bi..bi + ni).chain(desc_dofs.iter().copied()).collect();
                     for &j in &all {
                         let shifted = xup.inv_apply_force(&f_m[i][j]);
                         f_m[p][j] += shifted;
@@ -709,7 +724,11 @@ mod tests {
             let expect = rnea_derivatives(&m, &mut ws, &s.q, &s.qd, &qdd, None);
             let (dq, dqd) = out.dtau.unwrap();
             let scale = 1.0 + expect.dtau_dq.max_abs();
-            assert!((&dq - &expect.dtau_dq).max_abs() / scale < 1e-9, "{}", m.name());
+            assert!(
+                (&dq - &expect.dtau_dq).max_abs() / scale < 1e-9,
+                "{}",
+                m.name()
+            );
             assert!((&dqd - &expect.dtau_dqd).max_abs() / scale < 1e-9);
         }
     }
@@ -725,7 +744,11 @@ mod tests {
             let expect = fd_derivatives(&m, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
             let (dq, dqd) = out.dqdd.unwrap();
             let scale = 1.0 + expect.dqdd_dq.max_abs();
-            assert!((&dq - &expect.dqdd_dq).max_abs() / scale < 1e-8, "{}", m.name());
+            assert!(
+                (&dq - &expect.dqdd_dq).max_abs() / scale < 1e-8,
+                "{}",
+                m.name()
+            );
             assert!((&dqd - &expect.dqdd_dqd).max_abs() / scale < 1e-8);
             for k in 0..m.nv() {
                 assert!((out.qdd[k] - expect.qdd[k]).abs() < 1e-8 * (1.0 + expect.qdd[k].abs()));
@@ -738,8 +761,10 @@ mod tests {
         let m = robots::iiwa();
         let s = random_state(&m, 5);
         let qdd = vec![0.2; m.nv()];
-        let exact = FunctionalEngine::new(&m, false).run(FunctionKind::Id, &s.q, &s.qd, &qdd, None, None);
-        let taylor = FunctionalEngine::new(&m, true).run(FunctionKind::Id, &s.q, &s.qd, &qdd, None, None);
+        let exact =
+            FunctionalEngine::new(&m, false).run(FunctionKind::Id, &s.q, &s.qd, &qdd, None, None);
+        let taylor =
+            FunctionalEngine::new(&m, true).run(FunctionKind::Id, &s.q, &s.qd, &qdd, None, None);
         for k in 0..m.nv() {
             assert!(
                 (exact.tau[k] - taylor.tau[k]).abs() < 1e-8 * (1.0 + exact.tau[k].abs()),

@@ -168,7 +168,11 @@ impl PipelineSim {
                     *c = b'0' + (t % 10) as u8;
                 }
             }
-            out.push_str(&format!("{:>6} |{}|\n", stage.name, String::from_utf8(row).unwrap()));
+            out.push_str(&format!(
+                "{:>6} |{}|\n",
+                stage.name,
+                String::from_utf8(row).unwrap()
+            ));
         }
         out
     }
@@ -180,7 +184,9 @@ mod tests {
 
     fn uniform(n: usize, ii: usize, lat: usize) -> PipelineSim {
         PipelineSim::new(
-            (0..n).map(|i| Stage::new(format!("s{i}"), ii, lat)).collect(),
+            (0..n)
+                .map(|i| Stage::new(format!("s{i}"), ii, lat))
+                .collect(),
             8,
         )
     }

@@ -130,9 +130,7 @@ pub fn submodule_usage(sub: &Submodule) -> ResourceUsage {
     let adds_per_cycle = sub.ops.add.div_ceil(sub.ii_cycles().max(1));
     ResourceUsage {
         dsp: sub.lanes * coef::DSP_PER_LANE + sub.ops.recip * coef::RECIP_DSP,
-        ff: sub.lanes * coef::FF_PER_LANE
-            + adds_per_cycle * coef::FF_PER_ADD
-            + coef::FF_PER_STAGE,
+        ff: sub.lanes * coef::FF_PER_LANE + adds_per_cycle * coef::FF_PER_ADD + coef::FF_PER_STAGE,
         lut: sub.lanes * coef::LUT_PER_LANE
             + adds_per_cycle * coef::LUT_PER_ADD
             + coef::LUT_PER_STAGE

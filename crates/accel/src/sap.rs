@@ -63,10 +63,7 @@ impl SapLayout {
         // Re-rooting is only physical for floating-base robots (the
         // virtual 6-DOF joint can attach anywhere, §V-C1); a fixed base
         // is bolted to the world.
-        let floating_base = matches!(
-            model.joint(roots[0]).jtype,
-            rbd_model::JointType::Floating
-        );
+        let floating_base = matches!(model.joint(roots[0]).jtype, rbd_model::JointType::Floating);
         let (topo, map, root_body) = if auto_reroot && floating_base {
             let mut best = (topo0.max_depth(), roots[0]);
             for cand in 0..topo0.num_bodies() {
@@ -192,7 +189,15 @@ fn build_hw(
         while remaining > 0 {
             let chunk = remaining.min(2);
             let rep = members[cursor];
-            child_indices.push(build_hw(topo, map, model, rep, level + 1, mult * chunk, nodes));
+            child_indices.push(build_hw(
+                topo,
+                map,
+                model,
+                rep,
+                level + 1,
+                mult * chunk,
+                nodes,
+            ));
             cursor += chunk;
             remaining -= chunk;
         }
@@ -273,11 +278,7 @@ mod tests {
         let name = m.body_name(opt.root_body);
         assert!(name.starts_with("torso"), "chose {name}");
         // Arms and legs each merge into single ×2 arrays.
-        let n_mux2 = opt
-            .branches
-            .iter()
-            .filter(|b| b.multiplex == 2)
-            .count();
+        let n_mux2 = opt.branches.iter().filter(|b| b.multiplex == 2).count();
         assert!(n_mux2 >= 2, "{:?}", opt.branches);
     }
 

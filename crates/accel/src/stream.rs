@@ -71,7 +71,10 @@ impl fmt::Display for DecodeError {
             Self::DimensionMismatch {
                 header_nv,
                 model_nv,
-            } => write!(f, "packet nv {header_nv} does not match model nv {model_nv}"),
+            } => write!(
+                f,
+                "packet nv {header_nv} does not match model nv {model_nv}"
+            ),
             Self::Empty => write!(f, "empty stream"),
         }
     }
@@ -158,7 +161,8 @@ pub fn decode_task(model: &RobotModel, words: &[u32]) -> Result<TaskPacket, Deco
         });
     }
     let mut it = words[1..].iter().copied();
-    let mut take = |n: usize| -> Vec<f64> { (0..n).map(|_| read_f64(it.next().unwrap())).collect() };
+    let mut take =
+        |n: usize| -> Vec<f64> { (0..n).map(|_| read_f64(it.next().unwrap())).collect() };
     let q = take(nq);
     let qd = take(nv);
     let u = take(nv);
@@ -246,13 +250,13 @@ mod tests {
             Err(DecodeError::UnknownFunction(9))
         ));
         // Wrong nv.
-        let bad = vec![(0u32 << 24) | 99];
+        let bad = vec![99];
         assert!(matches!(
             decode_task(&model, &bad),
             Err(DecodeError::DimensionMismatch { .. })
         ));
         // Truncated payload.
-        let bad = vec![(0u32 << 24) | model.nv() as u32, 0, 0];
+        let bad = vec![(model.nv() as u32), 0, 0];
         assert!(matches!(
             decode_task(&model, &bad),
             Err(DecodeError::Truncated { .. })

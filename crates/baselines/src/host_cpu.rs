@@ -5,9 +5,11 @@
 
 use rbd_accel::FunctionKind;
 use rbd_dynamics::{
-    fd_derivatives, forward_dynamics, mminv_gen, rnea, rnea_derivatives, DynamicsWorkspace,
+    fd_derivatives_into, forward_dynamics_into, mminv_gen_into, rnea_derivatives_into, rnea_in_ws,
+    DynamicsWorkspace, FdDerivatives, RneaDerivatives,
 };
 use rbd_model::{random_state, RobotModel};
+use rbd_spatial::MatN;
 use std::time::Instant;
 
 /// One measurement result.
@@ -31,10 +33,32 @@ impl HostMeasurement {
     }
 }
 
+/// Per-thread reusable outputs so the measured loop exercises the same
+/// zero-allocation fast path the accelerator comparison is made against.
+struct HostScratch {
+    qdd: Vec<f64>,
+    m: MatN,
+    did: RneaDerivatives,
+    dfd: FdDerivatives,
+}
+
+impl HostScratch {
+    fn new(model: &RobotModel) -> Self {
+        let nv = model.nv();
+        Self {
+            qdd: vec![0.0; nv],
+            m: MatN::zeros(nv, nv),
+            did: RneaDerivatives::zeros(nv),
+            dfd: FdDerivatives::zeros(nv),
+        }
+    }
+}
+
 /// Executes one function once (workload body shared by all harnesses).
 fn run_once(
     model: &RobotModel,
     ws: &mut DynamicsWorkspace,
+    scratch: &mut HostScratch,
     f: FunctionKind,
     q: &[f64],
     qd: &[f64],
@@ -42,28 +66,28 @@ fn run_once(
 ) {
     match f {
         FunctionKind::Id => {
-            let t = rnea(model, ws, q, qd, u, None);
-            std::hint::black_box(t);
+            rnea_in_ws(model, ws, q, qd, u, None, 1.0);
+            std::hint::black_box(&ws.tau);
         }
         FunctionKind::Fd => {
-            let a = forward_dynamics(model, ws, q, qd, u, None).expect("fd");
-            std::hint::black_box(a);
+            forward_dynamics_into(model, ws, q, qd, u, None, &mut scratch.qdd).expect("fd");
+            std::hint::black_box(&scratch.qdd);
         }
         FunctionKind::MassMatrix => {
-            let m = mminv_gen(model, ws, q, true, false).expect("m");
-            std::hint::black_box(m);
+            mminv_gen_into(model, ws, q, Some(&mut scratch.m), None).expect("m");
+            std::hint::black_box(&scratch.m);
         }
         FunctionKind::MassMatrixInverse => {
-            let m = mminv_gen(model, ws, q, false, true).expect("minv");
-            std::hint::black_box(m);
+            mminv_gen_into(model, ws, q, None, Some(&mut scratch.m)).expect("minv");
+            std::hint::black_box(&scratch.m);
         }
         FunctionKind::DId => {
-            let d = rnea_derivatives(model, ws, q, qd, u, None);
-            std::hint::black_box(d);
+            rnea_derivatives_into(model, ws, q, qd, u, None, &mut scratch.did);
+            std::hint::black_box(&scratch.did);
         }
         FunctionKind::DFd | FunctionKind::DiFd => {
-            let d = fd_derivatives(model, ws, q, qd, u, None).expect("dfd");
-            std::hint::black_box(d);
+            fd_derivatives_into(model, ws, q, qd, u, None, &mut scratch.dfd).expect("dfd");
+            std::hint::black_box(&scratch.dfd);
         }
     }
 }
@@ -82,29 +106,32 @@ pub fn measure_function(
     let states: Vec<_> = (0..batch.max(1))
         .map(|i| random_state(model, i as u64))
         .collect();
-    let u: Vec<f64> = (0..model.nv()).map(|k| 0.2 * (k % 3) as f64 - 0.1).collect();
+    let u: Vec<f64> = (0..model.nv())
+        .map(|k| 0.2 * (k % 3) as f64 - 0.1)
+        .collect();
 
     let start = Instant::now();
     for _ in 0..repeats.max(1) {
         if threads == 1 {
             let mut ws = DynamicsWorkspace::new(model);
+            let mut scratch = HostScratch::new(model);
             for s in &states {
-                run_once(model, &mut ws, f, &s.q, &s.qd, &u);
+                run_once(model, &mut ws, &mut scratch, f, &s.q, &s.qd, &u);
             }
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let chunk = states.len().div_ceil(threads);
                 for part in states.chunks(chunk) {
                     let u = &u;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut ws = DynamicsWorkspace::new(model);
+                        let mut scratch = HostScratch::new(model);
                         for s in part {
-                            run_once(model, &mut ws, f, &s.q, &s.qd, u);
+                            run_once(model, &mut ws, &mut scratch, f, &s.q, &s.qd, u);
                         }
                     });
                 }
-            })
-            .expect("worker panicked");
+            });
         }
     }
     HostMeasurement {
@@ -163,7 +190,9 @@ mod tests {
     #[test]
     fn multithreading_does_not_slow_down_large_batches() {
         // Meaningful only with real parallelism available.
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if cores < 2 {
             return;
         }

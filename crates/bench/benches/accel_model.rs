@@ -1,53 +1,42 @@
-//! Criterion benchmarks of the accelerator simulator itself: functional
+//! Micro-benchmarks of the accelerator simulator itself: functional
 //! dataflow execution, configuration, and the cycle-level pipeline
-//! simulation (simulator cost, not modelled-hardware time).
+//! simulation (simulator cost, not modelled-hardware time). Uses the
+//! in-tree harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rbd_accel::{timing, AccelConfig, DaduRbd, FunctionKind};
+use rbd_bench::harness::Bench;
 use rbd_model::{random_state, robots};
 
-fn bench_accel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("accel");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(400));
-    group.sample_size(12);
-
+fn main() {
+    let mut report = rbd_bench::harness::BenchReport::default();
     for model in [robots::iiwa(), robots::hyq()] {
         let name = model.name().to_string();
+        let mut group = Bench::new(format!("accel/{name}"));
         let accel = DaduRbd::configure(&model, AccelConfig::default());
         let s = random_state(&model, 1);
         let nv = model.nv();
         let qdd: Vec<f64> = (0..nv).map(|k| 0.1 * k as f64 - 0.2).collect();
         let tau: Vec<f64> = (0..nv).map(|k| 0.4 - 0.05 * k as f64).collect();
 
-        group.bench_function(BenchmarkId::new("configure", &name), |b| {
-            b.iter(|| DaduRbd::configure(&model, AccelConfig::default()))
+        group.bench("configure", || {
+            DaduRbd::configure(&model, AccelConfig::default())
         });
-        group.bench_function(BenchmarkId::new("functional_id", &name), |b| {
-            b.iter(|| accel.run_id(&s.q, &s.qd, &qdd, None))
+        group.bench("functional_id", || accel.run_id(&s.q, &s.qd, &qdd, None));
+        group.bench("functional_dfd", || accel.run_dfd(&s.q, &s.qd, &tau, None));
+        group.bench("cycle_sim_256", || {
+            timing::representative_pipeline(&accel, FunctionKind::DFd)
+                .run(256)
+                .total_cycles
         });
-        group.bench_function(BenchmarkId::new("functional_dfd", &name), |b| {
-            b.iter(|| accel.run_dfd(&s.q, &s.qd, &tau, None))
+        group.bench("estimate_all_fns", || {
+            FunctionKind::all()
+                .iter()
+                .map(|&f| accel.estimate(f, 256).batch_cycles)
+                .sum::<u64>()
         });
-        group.bench_function(BenchmarkId::new("cycle_sim_256", &name), |b| {
-            b.iter(|| {
-                timing::representative_pipeline(&accel, FunctionKind::DFd)
-                    .run(256)
-                    .total_cycles
-            })
-        });
-        group.bench_function(BenchmarkId::new("estimate_all_fns", &name), |b| {
-            b.iter(|| {
-                FunctionKind::all()
-                    .iter()
-                    .map(|&f| accel.estimate(f, 256).batch_cycles)
-                    .sum::<u64>()
-            })
-        });
+        report.merge(group.finish());
     }
-    group.finish();
+    report
+        .write_json("BENCH_accel_model.json")
+        .expect("write BENCH_accel_model.json");
 }
-
-criterion_group!(benches, bench_accel);
-criterion_main!(benches);

@@ -1,17 +1,13 @@
-//! Criterion benchmarks of the spatial-algebra substrate (the inner
-//! loops every dynamics kernel is built from) and of the fixed-point
-//! datapath primitives.
+//! Micro-benchmarks of the spatial-algebra substrate (the inner loops
+//! every dynamics kernel is built from) and of the fixed-point datapath
+//! primitives. Uses the in-tree harness (`rbd_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use rbd_bench::harness::Bench;
 use rbd_fixed::{fast_reciprocal, trig, Q32};
 use rbd_spatial::{ForceVec, Mat6, MatN, MotionVec, SpatialInertia, Vec3, Xform};
 
-fn bench_spatial(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spatial");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(400));
-    group.sample_size(12);
+fn main() {
+    let mut group = Bench::new("spatial");
     let x = Xform::rot_axis(Vec3::new(0.2, 0.5, 0.8).normalized(), 0.7)
         .with_translation(Vec3::new(0.1, -0.2, 0.3));
     let v = MotionVec::from_slice(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
@@ -22,37 +18,43 @@ fn bench_spatial(c: &mut Criterion) {
         rbd_spatial::Mat3::diagonal(Vec3::new(0.05, 0.06, 0.02)),
     );
 
-    group.bench_function("xform_apply_motion", |b| b.iter(|| x.apply_motion(&v)));
-    group.bench_function("xform_inv_apply_force", |b| b.iter(|| x.inv_apply_force(&f)));
-    group.bench_function("cross_motion", |b| b.iter(|| v.cross_motion(&v)));
-    group.bench_function("inertia_apply", |b| b.iter(|| inertia.mul_motion(&v)));
-    group.bench_function("inertia_transform", |b| {
-        b.iter(|| inertia.transform_to_parent(&x))
-    });
-    group.bench_function("mat6_congruence", |b| {
+    group.bench("xform_apply_motion", || x.apply_motion(&v));
+    group.bench("xform_inv_apply_force", || x.inv_apply_force(&f));
+    group.bench("cross_motion", || v.cross_motion(&v));
+    group.bench("inertia_apply", || inertia.mul_motion(&v));
+    group.bench("inertia_transform", || inertia.transform_to_parent(&x));
+    {
         let i6 = inertia.to_mat6();
         let x6 = Mat6::from_xform_motion(&x);
-        b.iter(|| i6.congruence(&x6))
-    });
-    group.bench_function("matn_ldlt_18", |b| {
-        let a = MatN::from_fn(18, 18, |i, j| if i == j { 20.0 } else { 1.0 / (1.0 + (i + j) as f64) });
-        b.iter(|| a.ldlt().unwrap())
-    });
-    group.finish();
+        group.bench("mat6_congruence", || i6.congruence(&x6));
+    }
+    {
+        let a = MatN::from_fn(18, 18, |i, j| {
+            if i == j {
+                20.0
+            } else {
+                1.0 / (1.0 + (i + j) as f64)
+            }
+        });
+        group.bench("matn_ldlt_18", || a.ldlt().unwrap());
+        let mut l = MatN::zeros(18, 18);
+        let mut d = rbd_spatial::VecN::zeros(18);
+        group.bench("matn_ldlt_into_18", move || {
+            a.ldlt_into(&mut l, &mut d).unwrap();
+        });
+    }
+    let report = group.finish();
 
-    let mut group = c.benchmark_group("fixed");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(400));
-    group.sample_size(12);
-    group.bench_function("taylor_sincos", |b| b.iter(|| trig::sin_cos(1.234)));
-    group.bench_function("fast_reciprocal", |b| b.iter(|| fast_reciprocal(3.14159)));
-    group.bench_function("q32_mul", |b| {
+    let mut group = Bench::new("fixed");
+    group.bench("taylor_sincos", || trig::sin_cos(1.234));
+    group.bench("fast_reciprocal", || fast_reciprocal(std::f64::consts::PI));
+    {
         let x = Q32::from_f64(1.375);
         let y = Q32::from_f64(-2.5);
-        b.iter(|| x * y)
-    });
-    group.finish();
+        group.bench("q32_mul", || x * y);
+    }
+    let mut all = report;
+    all.merge(group.finish());
+    all.write_json("BENCH_spatial_core.json")
+        .expect("write BENCH_spatial_core.json");
 }
-
-criterion_group!(benches, bench_spatial);
-criterion_main!(benches);

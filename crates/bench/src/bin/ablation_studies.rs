@@ -30,7 +30,11 @@ fn main() {
     let base = DaduRbd::configure(&quad, base_cfg);
 
     let mut rows = Vec::new();
-    rows.push(row("baseline (all optimisations)", &base, FunctionKind::DFd));
+    rows.push(row(
+        "baseline (all optimisations)",
+        &base,
+        FunctionKind::DFd,
+    ));
 
     // Root splitting off.
     let no_split = DaduRbd::configure(
@@ -60,7 +64,11 @@ fn main() {
             ..base_cfg
         },
     );
-    rows.push(row("- column parallelism (cp=1)", &serial_cols, FunctionKind::DFd));
+    rows.push(row(
+        "- column parallelism (cp=1)",
+        &serial_cols,
+        FunctionKind::DFd,
+    ));
 
     // Wider column parallelism.
     let wide_cols = DaduRbd::configure(
@@ -70,7 +78,11 @@ fn main() {
             ..base_cfg
         },
     );
-    rows.push(row("+ column parallelism (cp=4)", &wide_cols, FunctionKind::DFd));
+    rows.push(row(
+        "+ column parallelism (cp=4)",
+        &wide_cols,
+        FunctionKind::DFd,
+    ));
 
     // Two SAP instances.
     let two = DaduRbd::configure(
@@ -116,7 +128,10 @@ fn main() {
     // Atlas re-rooting, the paper's flagship SAP example.
     let atlas = robots::atlas();
     let mut atlas_rows = Vec::new();
-    for (name, reroot) in [("pelvis root (depth 11)", false), ("torso root (depth 9)", true)] {
+    for (name, reroot) in [
+        ("pelvis root (depth 11)", false),
+        ("torso root (depth 9)", true),
+    ] {
         let a = DaduRbd::configure(
             &atlas,
             AccelConfig {

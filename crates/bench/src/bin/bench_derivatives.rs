@@ -1,0 +1,76 @@
+//! Derivative-throughput benchmark: single-thread latency of the
+//! ΔRNEA/ΔFD kernels (allocating wrappers and the zero-allocation
+//! `*_into` fast path) plus batched multi-thread throughput through
+//! `BatchEval`, emitting a machine-readable `BENCH_derivatives.json` so
+//! future PRs have a perf trajectory to compare against.
+//!
+//! Run with `cargo run --release -p rbd-bench --bin bench_derivatives`.
+
+use rbd_bench::harness::{Bench, BenchReport};
+use rbd_dynamics::{
+    fd_derivatives, fd_derivatives_into, rnea_derivatives, rnea_derivatives_into, BatchEval,
+    DynamicsWorkspace, FdDerivatives, RneaDerivatives, SamplePoint,
+};
+use rbd_model::{random_state, robots};
+
+fn main() {
+    let mut report = BenchReport::default();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    for model in robots::paper_robots() {
+        let name = model.name().to_string();
+        let mut group = Bench::new(format!("derivatives/{name}"));
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 1);
+        let nv = model.nv();
+        let qdd: Vec<f64> = (0..nv).map(|k| 0.1 * k as f64 - 0.2).collect();
+        let tau: Vec<f64> = (0..nv).map(|k| 0.5 - 0.05 * k as f64).collect();
+
+        // Allocating wrappers (the seed API, for before/after trends).
+        group.bench("dID_single", || {
+            rnea_derivatives(&model, &mut ws, &s.q, &s.qd, &qdd, None)
+        });
+        group.bench("dFD_single", || {
+            fd_derivatives(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap()
+        });
+
+        // Zero-allocation fast path (outputs reused across calls).
+        {
+            let mut out = RneaDerivatives::zeros(nv);
+            group.bench("dID_into", || {
+                rnea_derivatives_into(&model, &mut ws, &s.q, &s.qd, &qdd, None, &mut out);
+            });
+        }
+        {
+            let mut out = FdDerivatives::zeros(nv);
+            group.bench("dFD_into", || {
+                fd_derivatives_into(&model, &mut ws, &s.q, &s.qd, &tau, None, &mut out).unwrap();
+            });
+        }
+
+        // Batched throughput: 64 points through BatchEval, 1 worker and
+        // all host workers (identical outputs by construction).
+        let points: Vec<SamplePoint> = (0..64)
+            .map(|i| {
+                let st = random_state(&model, i);
+                (st.q, st.qd, tau.clone())
+            })
+            .collect();
+        let mut outs = vec![FdDerivatives::zeros(nv); points.len()];
+        for threads in [1, host_cores] {
+            let mut batch = BatchEval::with_threads(&model, threads);
+            group.bench(&format!("dFD_batch64_{threads}T"), || {
+                batch.fd_derivatives_batch(&points, &mut outs).unwrap();
+            });
+            if host_cores == 1 {
+                break;
+            }
+        }
+        report.merge(group.finish());
+    }
+    report
+        .write_json("BENCH_derivatives.json")
+        .expect("write BENCH_derivatives.json");
+}

@@ -78,8 +78,14 @@ fn main() {
     );
 
     // (b) live on this host (core count permitting).
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let live_counts: Vec<usize> = counts.iter().copied().filter(|&t| t <= host_cores.max(1)).collect();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let live_counts: Vec<usize> = counts
+        .iter()
+        .copied()
+        .filter(|&t| t <= host_cores.max(1))
+        .collect();
     let scaling = thread_scaling(&model, FunctionKind::DFd, 96, &live_counts, 2);
     let rows: Vec<Vec<String>> = scaling
         .iter()
@@ -122,4 +128,16 @@ fn main() {
         &rows,
     );
     println!("paper anchor: derivatives of dynamics = 23.61% of the application.");
+
+    // ---- Live batched LQ evaluation (BatchEval across host workers).
+    println!(
+        "\nbatched LQ approximation ({} worker(s)): {:.2} ms vs {:.2} ms serial \
+         ({:.2}x); iteration total {:.2} ms -> {:.2} ms",
+        p.batch_threads,
+        p.lq_batch_s * 1e3,
+        p.lq_approx_s * 1e3,
+        p.lq_batch_speedup(),
+        p.total_s() * 1e3,
+        p.total_batched_s() * 1e3,
+    );
 }

@@ -2,9 +2,9 @@
 //! computing pattern: occupancy traces of (c) a Robomorphic-style
 //! two-big-core pipeline vs (d) the per-joint Round-Trip Pipeline.
 
-use rbd_accel::{AccelConfig, DaduRbd, FunctionKind};
 use rbd_accel::pipeline::{PipelineSim, Stage};
 use rbd_accel::timing::representative_pipeline;
+use rbd_accel::{AccelConfig, DaduRbd, FunctionKind};
 use rbd_model::robots;
 
 fn main() {

@@ -10,7 +10,12 @@ fn main() {
         let s = random_state(&model, 1);
         let m = crba(&model, &mut ws, &s.q);
         let nv = model.nv();
-        println!("\n=== Fig 5 — mass matrix sparsity, {} ({}x{}) ===", model.name(), nv, nv);
+        println!(
+            "\n=== Fig 5 — mass matrix sparsity, {} ({}x{}) ===",
+            model.name(),
+            nv,
+            nv
+        );
         let mut nnz = 0;
         for i in 0..nv {
             let mut line = String::new();

@@ -6,7 +6,7 @@
 //! throughput = 256-task batches.
 
 use rbd_accel::{AccelConfig, DaduRbd, FunctionKind};
-use rbd_baselines::{function_work, paper_devices};
+use rbd_baselines::{function_work, measure_function, paper_devices};
 use rbd_bench::{fmt_si, fmt_us, print_table};
 use rbd_model::robots;
 
@@ -36,7 +36,11 @@ fn main() {
                 fmt_us(l_agx),
                 fmt_us(l_i9),
                 fmt_us(ours.latency_s),
-                format!("{:.2}x / {:.2}x", ours.latency_s / l_agx, ours.latency_s / l_i9),
+                format!(
+                    "{:.2}x / {:.2}x",
+                    ours.latency_s / l_agx,
+                    ours.latency_s / l_i9
+                ),
             ]);
             lat_ratios_agx.push(ours.latency_s / l_agx);
             lat_ratios_i9.push(ours.latency_s / l_i9);
@@ -51,9 +55,17 @@ fn main() {
             thr_rows.push(vec![
                 f.short_name().to_string(),
                 fmt_si(t_agx_cpu),
-                if gpu_supported { fmt_si(t_agx_gpu) } else { "-".into() },
+                if gpu_supported {
+                    fmt_si(t_agx_gpu)
+                } else {
+                    "-".into()
+                },
                 fmt_si(t_i9),
-                if gpu_supported { fmt_si(t_rtx) } else { "-".into() },
+                if gpu_supported {
+                    fmt_si(t_rtx)
+                } else {
+                    "-".into()
+                },
                 fmt_si(t_ours),
                 format!(
                     "{:.1}x/{}/{:.1}x/{}",
@@ -84,9 +96,34 @@ fn main() {
             &lat_rows,
         );
         print_table(
-            &format!("Fig 15 ({}) — throughput, tasks/s (256 batch)", model.name()),
-            &["fn", "AGX CPU", "AGX GPU", "i9", "RTX 4090M", "Ours", "speedups"],
+            &format!(
+                "Fig 15 ({}) — throughput, tasks/s (256 batch)",
+                model.name()
+            ),
+            &[
+                "fn",
+                "AGX CPU",
+                "AGX GPU",
+                "i9",
+                "RTX 4090M",
+                "Ours",
+                "speedups",
+            ],
             &thr_rows,
+        );
+
+        // Live host reference: our own kernels through the batched
+        // zero-allocation path (single- and multi-thread, 256 tasks).
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let m1 = measure_function(&model, FunctionKind::DFd, 256, 1, 2);
+        let mt = measure_function(&model, FunctionKind::DFd, 256, host_cores, 2);
+        println!(
+            "host (live, this machine) dFD: {} tasks/s 1T, {} tasks/s {}T",
+            fmt_si(m1.throughput()),
+            fmt_si(mt.throughput()),
+            host_cores
         );
     }
 

@@ -54,9 +54,9 @@ fn main() {
         &rows,
     );
 
-    let (lo, hi) = ratios.iter().fold((f64::MAX, 0.0f64), |(lo, hi), r| {
-        (lo.min(r.2), hi.max(r.2))
-    });
+    let (lo, hi) = ratios
+        .iter()
+        .fold((f64::MAX, 0.0f64), |(lo, hi), r| (lo.min(r.2), hi.max(r.2)));
     println!("\nvs Robomorphic: {lo:.1}x - {hi:.1}x   (paper: 6.3x - 7.0x)");
     println!("paper ranges   : CPU 10.3-13.0x, GPU 3.4-11.3x");
     println!(

@@ -33,23 +33,23 @@ fn main() {
             fmt_us(t_agx),
             fmt_us(t_rtx),
             fmt_us(t_ours),
-            format!(
-                "{:.2} / {:.2}",
-                t_agx / t_ours,
-                t_rtx / t_ours
-            ),
+            format!("{:.2} / {:.2}", t_agx / t_ours, t_rtx / t_ours),
         ]);
         batch *= 2;
     }
     print_table(
         "Fig 17 — batched iiwa ΔFD time, µs (log-scale batches)",
-        &["batch", "AGX GPU", "RTX 4090M", "Ours", "AGX/ours, RTX/ours"],
+        &[
+            "batch",
+            "AGX GPU",
+            "RTX 4090M",
+            "Ours",
+            "AGX/ours, RTX/ours",
+        ],
         &rows,
     );
     match crossover {
-        Some(b) => println!(
-            "\nRTX 4090M overtakes at batch {b}   (paper: > 512)"
-        ),
+        Some(b) => println!("\nRTX 4090M overtakes at batch {b}   (paper: > 512)"),
         None => println!("\nRTX 4090M never overtakes in this range (paper: > 512)"),
     }
     println!("Dadu-RBD per-task time is flat after saturation (RTP property).");

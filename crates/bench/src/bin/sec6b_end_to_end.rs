@@ -28,7 +28,9 @@ fn main() {
     // Each sampling point performs 4 serial ΔFD sub-tasks (RK4).
     let tasks = (4 * n_points) as u64;
     let cpu_tasks_s = cpu.batch_time_s(&w_dfd, tasks as usize) / 4.0 * 4.0;
-    let accel_tasks_s = accel.estimate(FunctionKind::DFd, tasks as usize).batch_time_s;
+    let accel_tasks_s = accel
+        .estimate(FunctionKind::DFd, tasks as usize)
+        .batch_time_s;
     let task_speedup = cpu_tasks_s / accel_tasks_s;
 
     // Control-frequency model: CPU-only iteration = LQ + solver + other;
@@ -37,8 +39,8 @@ fn main() {
     // accelerator, §VI-B).
     let cpu_iter = p.total_s();
     let cpu_side = p.solver_s + p.other_s;
-    let accel_iter = p.lq_approx_s / task_speedup + cpu_side.max(p.lq_approx_s / task_speedup) * 0.0
-        + cpu_side;
+    let accel_iter =
+        p.lq_approx_s / task_speedup + cpu_side.max(p.lq_approx_s / task_speedup) * 0.0 + cpu_side;
     let freq_gain = cpu_iter / accel_iter - 1.0;
 
     let rows = vec![

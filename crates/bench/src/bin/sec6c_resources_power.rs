@@ -94,14 +94,26 @@ fn main() {
         "§VI-C — vs Robomorphic (iiwa ΔiFD, 256-task batches)",
         &["metric", "reproduced", "paper"],
         &[
-            vec!["power ratio (ours/robo)".into(), format!("{power_ratio:.2}x"), "3.25x".into()],
-            vec!["speed ratio (ours/robo)".into(), format!("{speed_ratio:.1}x"), "6.6x".into()],
+            vec![
+                "power ratio (ours/robo)".into(),
+                format!("{power_ratio:.2}x"),
+                "3.25x".into(),
+            ],
+            vec![
+                "speed ratio (ours/robo)".into(),
+                format!("{speed_ratio:.1}x"),
+                "6.6x".into(),
+            ],
             vec![
                 "energy ratio (robo/ours)".into(),
                 format!("{energy_ratio:.1}x"),
                 "2.0x".into(),
             ],
-            vec!["EDP ratio (robo/ours)".into(), format!("{edp_ratio:.1}x"), "13.2x".into()],
+            vec![
+                "EDP ratio (robo/ours)".into(),
+                format!("{edp_ratio:.1}x"),
+                "13.2x".into(),
+            ],
         ],
     );
 }

@@ -42,8 +42,8 @@ fn main() {
 
     // FD
     let fd = accel.run_fd(&s.q, &s.qd, &tau_in, None);
-    let fd_ref = rbd_dynamics::forward_dynamics(&model, &mut ws, &s.q, &s.qd, &tau_in, None)
-        .unwrap();
+    let fd_ref =
+        rbd_dynamics::forward_dynamics(&model, &mut ws, &s.q, &s.qd, &tau_in, None).unwrap();
     ok(
         "Forward Dynamics",
         "qdd = FD(q, qd, tau, fext)",
@@ -56,7 +56,10 @@ fn main() {
 
     // M
     let m = accel.run_mass_matrix(&s.q);
-    let m_ref = mminv_gen(&model, &mut ws, &s.q, true, false).unwrap().m.unwrap();
+    let m_ref = mminv_gen(&model, &mut ws, &s.q, true, false)
+        .unwrap()
+        .m
+        .unwrap();
     ok(
         "Mass Matrix",
         "M = M(q)",
@@ -96,8 +99,7 @@ fn main() {
     ok(
         "Derivatives of FD",
         "du_qdd = dFD(q, qd, tau, fext)",
-        (&dq - &dfd_ref.dqdd_dq).max_abs() < 1e-7
-            && (&dqd - &dfd_ref.dqdd_dqd).max_abs() < 1e-7,
+        (&dq - &dfd_ref.dqdd_dq).max_abs() < 1e-7 && (&dqd - &dfd_ref.dqdd_dqd).max_abs() < 1e-7,
         format!("2x[{nv}x{nv}]"),
     );
 
@@ -107,8 +109,7 @@ fn main() {
     ok(
         "Derivatives of Dynamics",
         "du_qdd = diFD(q, qd, qdd, Minv, fext)",
-        (&dq - &dfd_ref.dqdd_dq).max_abs() < 1e-7
-            && (&dqd - &dfd_ref.dqdd_dqd).max_abs() < 1e-7,
+        (&dq - &dfd_ref.dqdd_dq).max_abs() < 1e-7 && (&dqd - &dfd_ref.dqdd_dqd).max_abs() < 1e-7,
         format!("2x[{nv}x{nv}]"),
     );
 

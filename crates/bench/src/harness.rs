@@ -1,0 +1,252 @@
+//! A small self-contained micro-benchmark harness (criterion-lite).
+//!
+//! The offline build environment has no crates.io registry, so the
+//! micro-benchmarks cannot depend on `criterion`. This module provides
+//! the subset the benches need — warm-up, automatic iteration-count
+//! calibration, repeated samples with a median estimate — plus
+//! machine-readable JSON emission so perf numbers accumulate across PRs
+//! (`BENCH_*.json` files at the workspace root).
+//!
+//! # Example
+//! ```
+//! use rbd_bench::harness::Bench;
+//! let mut b = Bench::new("example");
+//! b.bench("add", || std::hint::black_box(1 + 1));
+//! let report = b.finish();
+//! assert_eq!(report.entries.len(), 1);
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// `group/name` identifier.
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration across samples, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl BenchEntry {
+    /// Iterations per second implied by the median.
+    pub fn throughput_per_s(&self) -> f64 {
+        1e9 / self.median_ns
+    }
+}
+
+/// A benchmark group: collects [`BenchEntry`] results.
+#[derive(Debug)]
+pub struct Bench {
+    group: String,
+    /// Samples per case.
+    pub sample_count: usize,
+    /// Target wall time per sample.
+    pub sample_time: Duration,
+    /// Warm-up time per case.
+    pub warm_up: Duration,
+    entries: Vec<BenchEntry>,
+    quiet: bool,
+}
+
+impl Bench {
+    /// New group with defaults suitable for µs-scale kernels.
+    pub fn new(group: impl Into<String>) -> Self {
+        Self {
+            group: group.into(),
+            sample_count: 15,
+            sample_time: Duration::from_millis(20),
+            warm_up: Duration::from_millis(100),
+            entries: Vec::new(),
+            quiet: false,
+        }
+    }
+
+    /// Suppresses per-case stdout lines (for use inside tests).
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Measures `f`, printing and recording the result.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchEntry {
+        // Warm-up and iteration-count calibration in one pass.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((self.sample_time.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let entry = BenchEntry {
+            name: format!("{}/{}", self.group, name),
+            median_ns,
+            mean_ns,
+            min_ns: samples_ns[0],
+            iters_per_sample: iters,
+            samples: samples_ns.len(),
+        };
+        if !self.quiet {
+            println!(
+                "{:<44} median {:>12}  ({} samples × {} iters)",
+                entry.name,
+                fmt_ns(median_ns),
+                entry.samples,
+                iters
+            );
+        }
+        self.entries.push(entry);
+        self.entries.last().expect("just pushed")
+    }
+
+    /// Returns the collected report.
+    pub fn finish(self) -> BenchReport {
+        BenchReport {
+            entries: self.entries,
+        }
+    }
+}
+
+/// Collected results of one or more groups.
+#[derive(Debug, Default)]
+pub struct BenchReport {
+    /// All measured cases.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Merges another report's entries into this one.
+    pub fn merge(&mut self, other: BenchReport) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Looks a case up by its full `group/name`.
+    pub fn get(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serializes the report as a JSON document (no external deps; the
+    /// emitted schema is `{"benchmarks": [{"name", "median_ns", ...}]}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \
+                 \"min_ns\": {:.3}, \"throughput_per_s\": {:.3}, \
+                 \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+                json_string(&e.name),
+                e.median_ns,
+                e.mean_ns,
+                e.min_ns,
+                e.throughput_per_s(),
+                e.iters_per_sample,
+                e.samples,
+                if i + 1 == self.entries.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Human-readable nanosecond quantity.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut b = Bench::new("t").quiet();
+        b.sample_count = 3;
+        b.sample_time = Duration::from_micros(200);
+        b.warm_up = Duration::from_micros(200);
+        b.bench("noop", || std::hint::black_box(42));
+        let r = b.finish();
+        assert_eq!(r.entries.len(), 1);
+        let e = &r.entries[0];
+        assert_eq!(e.name, "t/noop");
+        assert!(e.median_ns > 0.0);
+        assert!(e.min_ns <= e.median_ns);
+        assert!(e.throughput_per_s() > 0.0);
+        assert!(r.get("t/noop").is_some());
+        assert!(r.get("t/missing").is_none());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut b = Bench::new("g").quiet();
+        b.sample_count = 2;
+        b.sample_time = Duration::from_micros(100);
+        b.warm_up = Duration::from_micros(100);
+        b.bench("a", || std::hint::black_box(1));
+        b.bench("b\"q", || std::hint::black_box(2));
+        let json = b.finish().to_json();
+        assert!(json.contains("\"benchmarks\""));
+        assert!(json.contains("\"g/a\""));
+        assert!(json.contains("\\\"q"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1.5e3), "1.500 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.500 ms");
+        assert_eq!(fmt_ns(3.0e9), "3.000 s");
+    }
+}

@@ -6,6 +6,8 @@
 //! *shape* comparison (who wins, by what factor, where crossovers fall)
 //! is immediate. See EXPERIMENTS.md for the recorded outcomes.
 
+pub mod harness;
+
 /// Prints a titled ASCII table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

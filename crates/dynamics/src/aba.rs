@@ -208,16 +208,7 @@ mod tests {
         let mut ws = DynamicsWorkspace::new(&model);
         let s = random_state(&model, 8);
         let fext: Vec<ForceVec> = (0..model.num_bodies())
-            .map(|i| {
-                ForceVec::from_slice(&[
-                    0.1 * i as f64,
-                    -0.2,
-                    0.3,
-                    5.0,
-                    -2.0,
-                    1.0 + i as f64,
-                ])
-            })
+            .map(|i| ForceVec::from_slice(&[0.1 * i as f64, -0.2, 0.3, 5.0, -2.0, 1.0 + i as f64]))
             .collect();
         let qdd_in: Vec<f64> = (0..model.nv()).map(|k| 0.1 * k as f64 - 0.5).collect();
         let tau = rnea(&model, &mut ws, &s.q, &s.qd, &qdd_in, Some(&fext));

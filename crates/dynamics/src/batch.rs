@@ -1,0 +1,357 @@
+//! Batched parallel evaluation of dynamics kernels across sampling
+//! points — the paper's core observation (Fig 2c, Fig 13): the LQ
+//! approximation of an MPC iteration evaluates dynamics + derivatives at
+//! N independent sampling points, so it parallelizes embarrassingly
+//! across OS threads, one [`DynamicsWorkspace`] per worker.
+//!
+//! [`BatchEval`] owns a pool of workspaces (one per thread, allocated
+//! once) and fans work out with `std::thread::scope` — no extra
+//! dependencies, no allocation in steady state when the `*_into` entry
+//! points are used. Outputs are written to per-point slots, so the
+//! result is **identical to the serial loop regardless of thread count**
+//! (each point's computation depends only on its inputs; every scratch
+//! buffer is fully overwritten per call).
+//!
+//! # Example
+//! ```
+//! use rbd_dynamics::{BatchEval, FdDerivatives};
+//! use rbd_model::{robots, random_state};
+//! let model = robots::iiwa();
+//! let mut batch = BatchEval::with_threads(&model, 2);
+//! let pts: Vec<_> = (0..8).map(|i| {
+//!     let s = random_state(&model, i);
+//!     (s.q, s.qd, vec![0.1; model.nv()])
+//! }).collect();
+//! let mut outs = vec![FdDerivatives::zeros(model.nv()); pts.len()];
+//! batch.fd_derivatives_batch(&pts, &mut outs).unwrap();
+//! assert_eq!(outs[3].dqdd_dq.rows(), model.nv());
+//! ```
+
+use crate::derivatives::{rnea_derivatives_into, RneaDerivatives};
+use crate::fd::{fd_derivatives_into, FdDerivatives};
+use crate::workspace::DynamicsWorkspace;
+use crate::DynamicsError;
+use rbd_model::RobotModel;
+
+/// A sampling point `(q, q̇, u)` where `u` is `τ` for forward-dynamics
+/// kernels and `q̈` for inverse-dynamics kernels.
+pub type SamplePoint = (Vec<f64>, Vec<f64>, Vec<f64>);
+
+/// Parallel batched evaluator with a per-thread workspace pool.
+#[derive(Debug)]
+pub struct BatchEval<'m> {
+    model: &'m RobotModel,
+    pool: Vec<DynamicsWorkspace>,
+}
+
+impl<'m> BatchEval<'m> {
+    /// Evaluator using all available parallelism.
+    pub fn new(model: &'m RobotModel) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(model, threads)
+    }
+
+    /// Evaluator with an explicit worker count (`0` is clamped to 1).
+    pub fn with_threads(model: &'m RobotModel, threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self {
+            model,
+            pool: (0..threads)
+                .map(|_| DynamicsWorkspace::new(model))
+                .collect(),
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The model this evaluator is bound to.
+    pub fn model(&self) -> &'m RobotModel {
+        self.model
+    }
+
+    /// Applies `f` to every item with a per-thread workspace, returning
+    /// the results in item order. `f(model, ws, index, item)` must depend
+    /// only on its arguments for the output to be thread-count
+    /// independent (true of all kernels in this crate).
+    pub fn map<I, T, F>(&mut self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&RobotModel, &mut DynamicsWorkspace, usize, &I) -> T + Sync,
+    {
+        let threads = self.pool.len().min(items.len()).max(1);
+        if threads <= 1 {
+            let ws = &mut self.pool[0];
+            return items
+                .iter()
+                .enumerate()
+                .map(|(k, it)| f(self.model, ws, k, it))
+                .collect();
+        }
+        let model = self.model;
+        let chunk = items.len().div_ceil(threads);
+        let mut results: Vec<Vec<T>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for (t, ws) in self.pool.iter_mut().take(threads).enumerate() {
+                let start = t * chunk;
+                let part = &items[start.min(items.len())..(start + chunk).min(items.len())];
+                if part.is_empty() {
+                    // Ceil-division chunking can leave trailing workers
+                    // with nothing to do; don't pay their spawn/join.
+                    continue;
+                }
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    part.iter()
+                        .enumerate()
+                        .map(|(k, it)| f(model, ws, start + k, it))
+                        .collect::<Vec<T>>()
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("batch worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for r in results {
+            out.extend(r);
+        }
+        out
+    }
+
+    /// Applies `f` to every `(item, out)` pair with a per-thread
+    /// workspace, writing results into the caller's slots — the
+    /// zero-allocation form of [`BatchEval::map`]. Returns the first
+    /// error in item order, if any (all items are still evaluated).
+    ///
+    /// # Errors
+    /// Propagates the first `Err` produced by `f`.
+    ///
+    /// # Panics
+    /// Panics if `items` and `outs` lengths differ.
+    pub fn for_each_into<I, T, E, F>(&mut self, items: &[I], outs: &mut [T], f: F) -> Result<(), E>
+    where
+        I: Sync,
+        T: Send,
+        E: Send,
+        F: Fn(&RobotModel, &mut DynamicsWorkspace, usize, &I, &mut T) -> Result<(), E> + Sync,
+    {
+        assert_eq!(items.len(), outs.len(), "items/outs length mismatch");
+        let threads = self.pool.len().min(items.len()).max(1);
+        if threads <= 1 {
+            let ws = &mut self.pool[0];
+            let mut first_err = None;
+            for (k, (it, out)) in items.iter().zip(outs.iter_mut()).enumerate() {
+                if let Err(e) = f(self.model, ws, k, it, out) {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+            return match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
+        let model = self.model;
+        let chunk = items.len().div_ceil(threads);
+        let mut errs: Vec<Option<(usize, E)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            let mut rest = outs;
+            for (t, ws) in self.pool.iter_mut().take(threads).enumerate() {
+                let start = t * chunk;
+                let end = (start + chunk).min(items.len());
+                let part = &items[start.min(items.len())..end];
+                if part.is_empty() {
+                    continue;
+                }
+                let (mine, tail) = rest.split_at_mut(part.len());
+                rest = tail;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut first: Option<(usize, E)> = None;
+                    for (k, (it, out)) in part.iter().zip(mine.iter_mut()).enumerate() {
+                        if let Err(e) = f(model, ws, start + k, it, out) {
+                            if first.is_none() {
+                                first = Some((start + k, e));
+                            }
+                        }
+                    }
+                    first
+                }));
+            }
+            for h in handles {
+                errs.push(h.join().expect("batch worker panicked"));
+            }
+        });
+        match errs.into_iter().flatten().min_by_key(|(k, _)| *k) {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Batched `ΔFD` over sampling points `(q, q̇, τ)`: fills `outs[k]`
+    /// with the derivatives at point `k`. Zero allocation in steady state
+    /// (reuse `outs` across calls).
+    ///
+    /// # Errors
+    /// Returns the first singular-mass-matrix error in point order.
+    ///
+    /// # Panics
+    /// Panics if `points` and `outs` lengths differ.
+    pub fn fd_derivatives_batch(
+        &mut self,
+        points: &[SamplePoint],
+        outs: &mut [FdDerivatives],
+    ) -> Result<(), DynamicsError> {
+        self.for_each_into(points, outs, |model, ws, _, (q, qd, tau), out| {
+            fd_derivatives_into(model, ws, q, qd, tau, None, out)
+        })
+    }
+
+    /// Batched `ΔID` over sampling points `(q, q̇, q̈)`: fills `outs[k]`
+    /// with the derivatives at point `k`. Zero allocation in steady state.
+    ///
+    /// # Panics
+    /// Panics if `points` and `outs` lengths differ.
+    pub fn rnea_derivatives_batch(&mut self, points: &[SamplePoint], outs: &mut [RneaDerivatives]) {
+        let ok: Result<(), std::convert::Infallible> =
+            self.for_each_into(points, outs, |model, ws, _, (q, qd, qdd), out| {
+                rnea_derivatives_into(model, ws, q, qd, qdd, None, out);
+                Ok(())
+            });
+        ok.expect("infallible");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::fd_derivatives;
+    use crate::rnea_derivatives;
+    use rbd_model::{random_state, robots};
+
+    fn points(model: &rbd_model::RobotModel, n: usize) -> Vec<SamplePoint> {
+        (0..n)
+            .map(|i| {
+                let s = random_state(model, i as u64);
+                let u: Vec<f64> = (0..model.nv())
+                    .map(|k| 0.3 - 0.04 * k as f64 + 0.01 * i as f64)
+                    .collect();
+                (s.q, s.qd, u)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_fd_derivatives() {
+        for threads in [1, 2, 4] {
+            let model = robots::hyq();
+            let pts = points(&model, 11);
+            let mut batch = BatchEval::with_threads(&model, threads);
+            let mut outs = vec![FdDerivatives::zeros(model.nv()); pts.len()];
+            batch.fd_derivatives_batch(&pts, &mut outs).unwrap();
+
+            let mut ws = DynamicsWorkspace::new(&model);
+            for (k, (q, qd, tau)) in pts.iter().enumerate() {
+                let serial = fd_derivatives(&model, &mut ws, q, qd, tau, None).unwrap();
+                assert_eq!(
+                    (&outs[k].dqdd_dq - &serial.dqdd_dq).max_abs(),
+                    0.0,
+                    "point {k} with {threads} threads"
+                );
+                assert_eq!((&outs[k].dqdd_dqd - &serial.dqdd_dqd).max_abs(), 0.0);
+                assert_eq!((&outs[k].dqdd_dtau - &serial.dqdd_dtau).max_abs(), 0.0);
+                assert_eq!(outs[k].qdd, serial.qdd);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_rnea_derivatives() {
+        let model = robots::atlas();
+        let pts = points(&model, 7);
+        let mut batch = BatchEval::with_threads(&model, 3);
+        let mut outs = vec![RneaDerivatives::zeros(model.nv()); pts.len()];
+        batch.rnea_derivatives_batch(&pts, &mut outs);
+
+        let mut ws = DynamicsWorkspace::new(&model);
+        for (k, (q, qd, qdd)) in pts.iter().enumerate() {
+            let serial = rnea_derivatives(&model, &mut ws, q, qd, qdd, None);
+            assert_eq!(
+                (&outs[k].dtau_dq - &serial.dtau_dq).max_abs(),
+                0.0,
+                "point {k}"
+            );
+            assert_eq!((&outs[k].dtau_dqd - &serial.dtau_dqd).max_abs(), 0.0);
+            assert_eq!(outs[k].tau, serial.tau);
+        }
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let model = robots::iiwa();
+        let mut batch = BatchEval::with_threads(&model, 3);
+        let items: Vec<usize> = (0..17).collect();
+        let out = batch.map(&items, |_, _, idx, &item| (idx, item * 2));
+        for (k, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, k);
+            assert_eq!(*doubled, 2 * k);
+        }
+    }
+
+    #[test]
+    fn uneven_chunking_with_trailing_empty_worker() {
+        // 5 items over a 4-workspace pool ceil-chunks as 2,2,1,0 — the
+        // empty trailing chunk must be skipped without losing order.
+        let model = robots::iiwa();
+        let mut batch = BatchEval::with_threads(&model, 4);
+        let items: Vec<usize> = (0..5).collect();
+        let out = batch.map(&items, |_, _, idx, &item| (idx, item));
+        assert_eq!(out, (0..5).map(|k| (k, k)).collect::<Vec<_>>());
+
+        let pts = points(&model, 5);
+        let mut outs = vec![FdDerivatives::zeros(model.nv()); pts.len()];
+        batch.fd_derivatives_batch(&pts, &mut outs).unwrap();
+        let mut ws = DynamicsWorkspace::new(&model);
+        for (k, (q, qd, tau)) in pts.iter().enumerate() {
+            let serial = fd_derivatives(&model, &mut ws, q, qd, tau, None).unwrap();
+            assert_eq!(
+                (&outs[k].dqdd_dq - &serial.dqdd_dq).max_abs(),
+                0.0,
+                "point {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let model = robots::iiwa();
+        let pts = points(&model, 2);
+        let mut batch = BatchEval::with_threads(&model, 8);
+        let mut outs = vec![FdDerivatives::zeros(model.nv()); pts.len()];
+        batch.fd_derivatives_batch(&pts, &mut outs).unwrap();
+        assert_eq!(batch.threads(), 8);
+        let mut ws = DynamicsWorkspace::new(&model);
+        let serial =
+            fd_derivatives(&model, &mut ws, &pts[1].0, &pts[1].1, &pts[1].2, None).unwrap();
+        assert_eq!((&outs[1].dqdd_dq - &serial.dqdd_dq).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let model = robots::iiwa();
+        let mut batch = BatchEval::with_threads(&model, 4);
+        let mut outs: Vec<FdDerivatives> = Vec::new();
+        batch.fd_derivatives_batch(&[], &mut outs).unwrap();
+        let out: Vec<u32> = batch.map(&[] as &[usize], |_, _, _, _| 1);
+        assert!(out.is_empty());
+    }
+}

@@ -21,10 +21,24 @@ use rbd_spatial::{ForceVec, Mat6, MatN};
 /// assert!(m.is_symmetric(1e-10));
 /// ```
 pub fn crba(model: &RobotModel, ws: &mut DynamicsWorkspace, q: &[f64]) -> MatN {
+    let mut m = MatN::zeros(model.nv(), model.nv());
+    crba_into(model, ws, q, &mut m);
+    m
+}
+
+/// [`crba`] into a caller-reused output matrix: zero heap allocation in
+/// steady state (the per-DOF force columns live on the stack, `m` is
+/// reshaped only on first use).
+///
+/// # Panics
+/// Panics if `q.len() != model.nq()`.
+pub fn crba_into(model: &RobotModel, ws: &mut DynamicsWorkspace, q: &[f64], m: &mut MatN) {
     assert_eq!(q.len(), model.nq(), "q dimension");
     let nb = model.num_bodies();
     let nv = model.nv();
     ws.update_kinematics(model, q);
+    m.resize(nv, nv);
+    m.fill(0.0);
 
     // Composite inertias, leaves → root.
     for i in 0..nb {
@@ -38,30 +52,31 @@ pub fn crba(model: &RobotModel, ws: &mut DynamicsWorkspace, q: &[f64]) -> MatN {
         }
     }
 
-    let mut m = MatN::zeros(nv, nv);
     for i in 0..nb {
         let vo_i = model.v_offset(i);
-        let cols = ws.s[i].clone();
-        // Force columns of the composite inertia along each DOF of i.
-        let mut fcols: Vec<ForceVec> = cols
-            .iter()
-            .map(|s| ws.ia[i].mul_motion_to_force(s))
-            .collect();
+        let cols = &ws.s[i];
+        let ni = cols.len();
+        // Force columns of the composite inertia along each DOF of i
+        // (at most 6, so they fit on the stack).
+        let mut fcols = [ForceVec::zero(); 6];
+        for (b, s) in cols.iter().enumerate() {
+            fcols[b] = ws.ia[i].mul_motion_to_force(s);
+        }
         // Diagonal block.
         for (a, s) in cols.iter().enumerate() {
-            for (b, f) in fcols.iter().enumerate() {
+            for (b, f) in fcols[..ni].iter().enumerate() {
                 m[(vo_i + a, vo_i + b)] = s.dot_force(f);
             }
         }
         // Walk up the ancestor chain.
         let mut j = i;
         while let Some(p) = model.topology().parent(j) {
-            for f in fcols.iter_mut() {
+            for f in fcols[..ni].iter_mut() {
                 *f = ws.xup[j].inv_apply_force(f);
             }
             j = p;
             let vo_j = model.v_offset(j);
-            for (b, f) in fcols.iter().enumerate() {
+            for (b, f) in fcols[..ni].iter().enumerate() {
                 for (a, s) in ws.s[j].iter().enumerate() {
                     let val = s.dot_force(f);
                     m[(vo_j + a, vo_i + b)] = val;
@@ -70,7 +85,6 @@ pub fn crba(model: &RobotModel, ws: &mut DynamicsWorkspace, q: &[f64]) -> MatN {
             }
         }
     }
-    m
 }
 
 #[cfg(test)]

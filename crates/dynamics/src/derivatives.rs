@@ -8,13 +8,20 @@
 //! Derivatives are taken in the tangent space of the configuration
 //! manifold (`q ⊕ δ` through each joint's exponential map), which for
 //! revolute/prismatic joints coincides with plain partial derivatives.
+//!
+//! The kernel is allocation-free in steady state: all intermediate
+//! per-body/per-DOF tables live in flat, stride-indexed
+//! [`DynamicsWorkspace`] buffers, and [`rnea_derivatives_into`] writes
+//! into a caller-reused [`RneaDerivatives`]. The backward pass walks the
+//! precomputed related-DOF sets instead of all `nv` columns, exploiting
+//! the branch-induced sparsity of `∂τ` (Fig 5).
 
 use crate::workspace::DynamicsWorkspace;
 use rbd_model::RobotModel;
 use rbd_spatial::{ForceVec, MatN, MotionVec, SpatialInertia};
 
 /// Result of [`rnea_derivatives`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RneaDerivatives {
     /// `∂τ/∂q` (tangent space), `nv × nv`.
     pub dtau_dq: MatN,
@@ -24,15 +31,72 @@ pub struct RneaDerivatives {
     pub tau: Vec<f64>,
 }
 
-/// Derivative of the world-frame inertia action: for a motion vector `y`,
-/// `∂(I y)/∂δ_j = S_j ×* (I y) - I (S_j × y)` (Lie derivative of the
-/// inertia along the joint axis).
-#[inline]
-fn d_inertia_apply(sj: &MotionVec, inertia: &SpatialInertia, y: &MotionVec) -> ForceVec {
-    sj.cross_force(&inertia.mul_motion(y)) - inertia.mul_motion(&sj.cross_motion(y))
+impl RneaDerivatives {
+    /// Zero-initialized output storage for an `nv`-DOF model, meant to be
+    /// reused across [`rnea_derivatives_into`] calls.
+    pub fn zeros(nv: usize) -> Self {
+        Self {
+            dtau_dq: MatN::zeros(nv, nv),
+            dtau_dqd: MatN::zeros(nv, nv),
+            tau: vec![0.0; nv],
+        }
+    }
+
+    /// Reshapes the buffers for an `nv`-DOF model; a no-op (and hence
+    /// allocation-free) when the dimensions already match.
+    pub fn ensure_dims(&mut self, nv: usize) {
+        self.dtau_dq.resize(nv, nv);
+        self.dtau_dqd.resize(nv, nv);
+        self.tau.resize(nv, 0.0);
+    }
+}
+
+/// Per-body quantities invariant across the chain-DOF loop.
+struct BodyInvariants {
+    v: MotionVec,
+    a: MotionVec,
+    iw: SpatialInertia,
+    /// `I v`, hoisted.
+    iw_v: ForceVec,
+    /// `I a`, hoisted.
+    iw_a: ForceVec,
+}
+
+/// Body-force derivative columns `∂f_i/∂q_j`, `∂f_i/∂q̇_j` from the
+/// velocity/acceleration derivative columns of DOF `j` — the Lie
+/// derivative of the inertia (`d_inertia_apply`) expanded around the
+/// hoisted `I v` / `I a` products.
+#[inline(always)]
+fn body_force_derivatives(
+    b: &BodyInvariants,
+    sj: &MotionVec,
+    dv_q: &MotionVec,
+    dv_qd: &MotionVec,
+    da_q: &MotionVec,
+    da_qd: &MotionVec,
+) -> (ForceVec, ForceVec) {
+    let BodyInvariants {
+        v,
+        a,
+        iw,
+        iw_v,
+        iw_a,
+    } = b;
+    let df_q = sj.cross_force(iw_a) - iw.mul_motion(&sj.cross_motion(a))
+        + iw.mul_motion(da_q)
+        + dv_q.cross_force(iw_v)
+        + v.cross_force(
+            &(sj.cross_force(iw_v) - iw.mul_motion(&sj.cross_motion(v)) + iw.mul_motion(dv_q)),
+        );
+    let df_qd =
+        iw.mul_motion(da_qd) + dv_qd.cross_force(iw_v) + v.cross_force(&iw.mul_motion(dv_qd));
+    (df_q, df_qd)
 }
 
 /// Analytical `ΔID`: `∂_u τ = ΔID(q, q̇, q̈, f_ext)` with `u = [q; q̇]`.
+///
+/// Allocates a fresh [`RneaDerivatives`] per call; hot paths should hold
+/// one and call [`rnea_derivatives_into`] instead.
 ///
 /// `fext` entries are world-frame spatial forces per body (constant under
 /// the differentiation, matching the paper's treatment).
@@ -59,6 +123,26 @@ pub fn rnea_derivatives(
     qdd: &[f64],
     fext: Option<&[ForceVec]>,
 ) -> RneaDerivatives {
+    let mut out = RneaDerivatives::zeros(model.nv());
+    rnea_derivatives_into(model, ws, q, qd, qdd, fext, &mut out);
+    out
+}
+
+/// [`rnea_derivatives`] into caller-reused output storage: performs zero
+/// heap allocation in steady state (all scratch lives in `ws`, `out` is
+/// resized only on the first call).
+///
+/// # Panics
+/// Panics on input dimension mismatches.
+pub fn rnea_derivatives_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    fext: Option<&[ForceVec]>,
+    out: &mut RneaDerivatives,
+) {
     let nb = model.num_bodies();
     let nv = model.nv();
     assert_eq!(q.len(), model.nq(), "q dimension");
@@ -67,172 +151,211 @@ pub fn rnea_derivatives(
     if let Some(f) = fext {
         assert_eq!(f.len(), nb, "fext dimension");
     }
+    out.ensure_dims(nv);
 
     ws.update_kinematics(model, q);
 
-    // World-frame S columns, velocities, accelerations, inertias.
-    let mut inertia_w: Vec<SpatialInertia> = Vec::with_capacity(nb);
-    // Per-body chain DOFs (ancestors + self) — the "incremental columns".
-    let mut chain: Vec<Vec<usize>> = Vec::with_capacity(nb);
+    // Split the workspace into disjoint field borrows so the index-set
+    // slices can be read while the scratch tables are written.
+    let DynamicsWorkspace {
+        s,
+        xworld,
+        f,
+        s_world,
+        v_world,
+        a_world,
+        chain_offsets,
+        chain_dofs,
+        desc_offsets,
+        desc_dofs,
+        rel_offsets,
+        rel_dofs,
+        vj_w,
+        aj_w,
+        inertia_w,
+        dv_dq,
+        dv_dqd,
+        da_dq,
+        da_dqd,
+        df_dq,
+        df_dqd,
+        ..
+    } = ws;
+    let chain = |i: usize| &chain_dofs[chain_offsets[i]..chain_offsets[i + 1]];
+    let desc = |i: usize| &desc_dofs[desc_offsets[i]..desc_offsets[i + 1]];
+    let rel = |i: usize| &rel_dofs[rel_offsets[i]..rel_offsets[i + 1]];
 
     // Gravity baseline: a₀ = -g in world coordinates.
     let a0 = MotionVec::new(rbd_spatial::Vec3::zero(), -model.gravity);
+    let zero = MotionVec::zero();
 
-    // Forward-pass values.
-    let mut vj_w = vec![MotionVec::zero(); nb]; // S q̇ per body, world frame
-    let mut aj_w = vec![MotionVec::zero(); nb]; // S q̈ per body, world frame
+    // Forward pass: world-frame S columns, velocities, accelerations,
+    // inertias.
     for i in 0..nb {
-        let x0 = ws.xworld[i];
+        let x0 = xworld[i];
         let vo = model.v_offset(i);
-        let ni = ws.s[i].len();
+        let ni = s[i].len();
         for k in 0..ni {
-            ws.s_world[vo + k] = x0.inv_apply_motion(&ws.s[i][k]);
+            s_world[vo + k] = x0.inv_apply_motion(&s[i][k]);
         }
         let mut vj = MotionVec::zero();
         let mut aj = MotionVec::zero();
         for k in 0..ni {
-            vj += ws.s_world[vo + k] * qd[vo + k];
-            aj += ws.s_world[vo + k] * qdd[vo + k];
+            vj += s_world[vo + k] * qd[vo + k];
+            aj += s_world[vo + k] * qdd[vo + k];
         }
         vj_w[i] = vj;
         aj_w[i] = aj;
 
-        let parent = model.topology().parent(i);
-        let (vp, ap) = match parent {
-            Some(p) => (ws.v_world[p], ws.a_world[p]),
+        let (vp, ap) = match model.topology().parent(i) {
+            Some(p) => (v_world[p], a_world[p]),
             None => (MotionVec::zero(), a0),
         };
         let v = vp + vj;
-        ws.v_world[i] = v;
-        ws.a_world[i] = ap + aj + v.cross_motion(&vj);
+        v_world[i] = v;
+        a_world[i] = ap + aj + v.cross_motion(&vj);
 
-        inertia_w.push(model.link_inertia(i).transform_to_parent(&x0));
-
-        let mut ch = match parent {
-            Some(p) => chain[p].clone(),
-            None => Vec::new(),
-        };
-        ch.extend(vo..vo + ni);
-        chain.push(ch);
+        inertia_w[i] = model.link_inertia(i).transform_to_parent(&x0);
     }
 
-    // Body forces (world frame) and their derivatives.
-    let mut f_body = vec![ForceVec::zero(); nb];
-    let mut dv_dq = vec![vec![MotionVec::zero(); nv]; nb];
-    let mut dv_dqd = vec![vec![MotionVec::zero(); nv]; nb];
-    let mut da_dq = vec![vec![MotionVec::zero(); nv]; nb];
-    let mut da_dqd = vec![vec![MotionVec::zero(); nv]; nb];
-    // Aggregated subtree force derivatives (world frame ⇒ plain sums).
-    let mut df_dq = vec![vec![ForceVec::zero(); nv]; nb];
-    let mut df_dqd = vec![vec![ForceVec::zero(); nv]; nb];
-
+    // Body forces (world frame) and their derivatives along the chain
+    // DOFs. Entries of the parent tables at body `i`'s *own* DOFs are
+    // structurally zero (an ancestor cannot depend on a descendant DOF),
+    // which the `j < vo` test below exploits — so the `dv`/`da` tables
+    // never need re-zeroing between calls. The `df` tables are
+    // accumulated into during the backward pass at descendant DOFs, so
+    // exactly those slots are cleared here.
     for i in 0..nb {
         let parent = model.topology().parent(i);
-        let vo = model.v_offset(i);
-        let ni = ws.s[i].len();
-        let v = ws.v_world[i];
-        let a = ws.a_world[i];
+        let v = v_world[i];
+        let a = a_world[i];
         let iw = inertia_w[i];
+        let vji = vj_w[i];
+        let aji = aj_w[i];
+        // Per-body invariants of the chain loop, hoisted: I v, I a (each
+        // otherwise recomputed for every chain DOF).
+        let iw_v = iw.mul_motion(&v);
+        let iw_a = iw.mul_motion(&a);
 
-        let mut f = iw.mul_motion(&a) + v.cross_force(&iw.mul_motion(&v));
+        let mut fb = iw_a + v.cross_force(&iw_v);
         if let Some(fx) = fext {
-            f -= fx[i]; // already world frame
+            fb -= fx[i]; // already world frame
         }
-        f_body[i] = f;
+        f[i] = fb;
 
-        let own = vo..vo + ni;
-        for &j in &chain[i] {
-            let sj = ws.s_world[j];
+        let row = i * nv;
+        for &j in desc(i) {
+            df_dq[row + j] = ForceVec::zero();
+            df_dqd[row + j] = ForceVec::zero();
+        }
+
+        // The chain splits into inherited DOFs (j < vo: ancestors, with
+        // parent-table entries) and body i's own DOFs (no parent terms,
+        // but the extra `S` and `v × S` contributions) — handling them in
+        // two loops removes the per-column branches.
+        let prow = parent.map(|p| p * nv);
+        let (inherited, own_dofs) = {
+            let c = chain(i);
+            let split = c.len() - s[i].len();
+            (&c[..split], &c[split..])
+        };
+        let body = BodyInvariants {
+            v,
+            a,
+            iw,
+            iw_v,
+            iw_a,
+        };
+        for &j in inherited {
+            let sj = s_world[j];
+            let pr = prow.expect("inherited DOFs imply a parent");
+            let (pdv_q, pdv_qd, pda_q, pda_qd) =
+                (dv_dq[pr + j], dv_dqd[pr + j], da_dq[pr + j], da_dqd[pr + j]);
+            let sjxvj = sj.cross_motion(&vji);
             // --- velocity derivatives
-            let dv_q = match parent {
-                Some(p) => dv_dq[p][j],
-                None => MotionVec::zero(),
-            } + sj.cross_motion(&vj_w[i]);
-            let dv_qd = match parent {
-                Some(p) => dv_dqd[p][j],
-                None => MotionVec::zero(),
-            } + if own.contains(&j) {
-                sj
-            } else {
-                MotionVec::zero()
-            };
+            let dv_q = pdv_q + sjxvj;
+            let dv_qd = pdv_qd;
             // --- acceleration derivatives
-            let da_q = match parent {
-                Some(p) => da_dq[p][j],
-                None => MotionVec::zero(),
-            } + sj.cross_motion(&aj_w[i])
-                + dv_q.cross_motion(&vj_w[i])
-                + v.cross_motion(&sj.cross_motion(&vj_w[i]));
-            let da_qd = match parent {
-                Some(p) => da_dqd[p][j],
-                None => MotionVec::zero(),
-            } + dv_qd.cross_motion(&vj_w[i])
-                + if own.contains(&j) {
-                    v.cross_motion(&sj)
-                } else {
-                    MotionVec::zero()
-                };
+            let da_q =
+                pda_q + sj.cross_motion(&aji) + dv_q.cross_motion(&vji) + v.cross_motion(&sjxvj);
+            let da_qd = pda_qd + dv_qd.cross_motion(&vji);
 
-            dv_dq[i][j] = dv_q;
-            dv_dqd[i][j] = dv_qd;
-            da_dq[i][j] = da_q;
-            da_dqd[i][j] = da_qd;
+            dv_dq[row + j] = dv_q;
+            dv_dqd[row + j] = dv_qd;
+            da_dq[row + j] = da_q;
+            da_dqd[row + j] = da_qd;
 
-            // --- body-force derivatives
-            let df_q = d_inertia_apply(&sj, &iw, &a)
-                + iw.mul_motion(&da_q)
-                + dv_q.cross_force(&iw.mul_motion(&v))
-                + v.cross_force(&(d_inertia_apply(&sj, &iw, &v) + iw.mul_motion(&dv_q)));
-            let df_qd = iw.mul_motion(&da_qd)
-                + dv_qd.cross_force(&iw.mul_motion(&v))
-                + v.cross_force(&iw.mul_motion(&dv_qd));
+            let (df_q, df_qd) = body_force_derivatives(&body, &sj, &dv_q, &dv_qd, &da_q, &da_qd);
+            df_dq[row + j] = df_q;
+            df_dqd[row + j] = df_qd;
+        }
+        for &j in own_dofs {
+            let sj = s_world[j];
+            let sjxvj = sj.cross_motion(&vji);
+            let dv_q = zero + sjxvj;
+            let dv_qd = sj;
+            let da_q =
+                zero + sj.cross_motion(&aji) + dv_q.cross_motion(&vji) + v.cross_motion(&sjxvj);
+            let da_qd = zero + dv_qd.cross_motion(&vji) + v.cross_motion(&sj);
 
-            df_dq[i][j] = df_q;
-            df_dqd[i][j] = df_qd;
+            dv_dq[row + j] = dv_q;
+            dv_dqd[row + j] = dv_qd;
+            da_dq[row + j] = da_q;
+            da_dqd[row + j] = da_qd;
+
+            let (df_q, df_qd) = body_force_derivatives(&body, &sj, &dv_q, &dv_qd, &da_q, &da_qd);
+            df_dq[row + j] = df_q;
+            df_dqd[row + j] = df_qd;
         }
     }
 
     // Backward pass: aggregate forces and derivatives up the tree, emit τ
-    // derivative rows.
-    let mut f_agg = f_body;
-    let mut dtau_dq = MatN::zeros(nv, nv);
-    let mut dtau_dqd = MatN::zeros(nv, nv);
-    let mut tau = vec![0.0; nv];
+    // derivative rows. Only the related DOFs of each body are visited —
+    // every other column of its rows is exactly zero.
+    out.dtau_dq.fill(0.0);
+    out.dtau_dqd.fill(0.0);
 
     for i in (0..nb).rev() {
         let vo = model.v_offset(i);
-        let ni = ws.s[i].len();
+        let ni = s[i].len();
+        let row = i * nv;
         for k in 0..ni {
-            let sk = ws.s_world[vo + k];
-            tau[vo + k] = sk.dot_force(&f_agg[i]);
-            for j in 0..nv {
-                let mut dq = sk.dot_force(&df_dq[i][j]);
-                // Geometric term: only when joint(j) ⪯ i (tested via the
-                // chain membership of body i).
-                let body_j = model.body_of_dof(j);
-                if model.topology().is_ancestor_or_self(body_j, i) {
-                    let sj = ws.s_world[j];
-                    dq += sj.cross_motion(&sk).dot_force(&f_agg[i]);
+            out.tau[vo + k] = s_world[vo + k].dot_force(&f[i]);
+        }
+        for &j in rel(i) {
+            let dfq = df_dq[row + j];
+            let dfqd = df_dqd[row + j];
+            // Geometric term: only when joint(j) ⪯ i, i.e. j is a chain
+            // DOF — within the related set those are exactly the DOFs
+            // preceding the end of body i's own block. The per-pair cross
+            // product is hoisted per column via the triple-product
+            // identity (S_j × S_k)·f = -S_k·(S_j ×* f).
+            let chain_j = j < vo + ni;
+            let cj = if chain_j {
+                s_world[j].cross_force(&f[i])
+            } else {
+                ForceVec::zero()
+            };
+            for k in 0..ni {
+                let sk = s_world[vo + k];
+                let mut dq = sk.dot_force(&dfq);
+                if chain_j {
+                    dq -= sk.dot_force(&cj);
                 }
-                dtau_dq[(vo + k, j)] += dq;
-                dtau_dqd[(vo + k, j)] += sk.dot_force(&df_dqd[i][j]);
+                out.dtau_dq[(vo + k, j)] += dq;
+                out.dtau_dqd[(vo + k, j)] += sk.dot_force(&dfqd);
             }
         }
         if let Some(p) = model.topology().parent(i) {
-            let fa = f_agg[i];
-            f_agg[p] += fa;
-            for j in 0..nv {
-                let (dq, dqd) = (df_dq[i][j], df_dqd[i][j]);
-                df_dq[p][j] += dq;
-                df_dqd[p][j] += dqd;
+            let fa = f[i];
+            f[p] += fa;
+            let prow = p * nv;
+            for &j in rel(i) {
+                let (dq, dqd) = (df_dq[row + j], df_dqd[row + j]);
+                df_dq[prow + j] += dq;
+                df_dqd[prow + j] += dqd;
             }
         }
-    }
-
-    RneaDerivatives {
-        dtau_dq,
-        dtau_dqd,
-        tau,
     }
 }
 
@@ -246,9 +369,7 @@ mod tests {
     fn check(model: &RobotModel, seed: u64, tol: f64) {
         let mut ws = DynamicsWorkspace::new(model);
         let s = random_state(model, seed);
-        let qdd: Vec<f64> = (0..model.nv())
-            .map(|k| 0.5 - 0.07 * k as f64)
-            .collect();
+        let qdd: Vec<f64> = (0..model.nv()).map(|k| 0.5 - 0.07 * k as f64).collect();
 
         let analytic = rnea_derivatives(model, &mut ws, &s.q, &s.qd, &qdd, None);
         let (num_dq, num_dqd) = rnea_derivatives_numeric(model, &s.q, &s.qd, &qdd, None, 1e-6);
@@ -328,5 +449,33 @@ mod tests {
         // cross terms, which are linear in q̇ → exactly zero here.
         assert!(analytic.dtau_dqd.max_abs() < 1e-10);
         assert!(num_dqd.max_abs() < 1e-6);
+    }
+
+    /// Reusing one output across calls with dirty intermediate state must
+    /// give bit-identical results to a fresh evaluation.
+    #[test]
+    fn workspace_reuse_is_deterministic() {
+        for model in [robots::hyq(), robots::atlas(), robots::random_tree(9, 1)] {
+            let mut ws = DynamicsWorkspace::new(&model);
+            let mut out = RneaDerivatives::zeros(model.nv());
+            let s1 = random_state(&model, 21);
+            let s2 = random_state(&model, 22);
+            let qdd: Vec<f64> = (0..model.nv()).map(|k| 0.2 - 0.03 * k as f64).collect();
+
+            // Dirty the scratch with a different state, then re-evaluate.
+            rnea_derivatives_into(&model, &mut ws, &s2.q, &s2.qd, &qdd, None, &mut out);
+            rnea_derivatives_into(&model, &mut ws, &s1.q, &s1.qd, &qdd, None, &mut out);
+
+            let mut fresh_ws = DynamicsWorkspace::new(&model);
+            let fresh = rnea_derivatives(&model, &mut fresh_ws, &s1.q, &s1.qd, &qdd, None);
+            assert_eq!(
+                (&out.dtau_dq - &fresh.dtau_dq).max_abs(),
+                0.0,
+                "{}: dirty reuse changed ∂τ/∂q",
+                model.name()
+            );
+            assert_eq!((&out.dtau_dqd - &fresh.dtau_dqd).max_abs(), 0.0);
+            assert_eq!(out.tau, fresh.tau);
+        }
     }
 }

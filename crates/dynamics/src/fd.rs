@@ -6,14 +6,18 @@
 //! * `ΔFD = -M⁻¹ · ΔID` evaluated at `q̈ = FD(q, q̇, τ)`;
 //! * `ΔiFD` — same, with `M⁻¹` supplied by the caller (Robomorphic's
 //!   function signature, Table I last row).
+//!
+//! All entry points have `*_into` variants that reuse caller-held
+//! outputs and workspace scratch, performing zero heap allocation in
+//! steady state.
 
-use crate::derivatives::rnea_derivatives;
-use crate::mminv::mminv_gen;
-use crate::rnea::bias_force;
+use crate::derivatives::rnea_derivatives_into;
+use crate::mminv::mminv_gen_into;
+use crate::rnea::bias_force_in_ws;
 use crate::workspace::DynamicsWorkspace;
 use crate::DynamicsError;
 use rbd_model::RobotModel;
-use rbd_spatial::{ForceVec, MatN, VecN};
+use rbd_spatial::{ForceVec, MatN};
 
 /// Forward dynamics via `q̈ = M⁻¹ (τ - C)` (Eq. 2 of the paper).
 ///
@@ -30,17 +34,51 @@ pub fn forward_dynamics(
     tau: &[f64],
     fext: Option<&[ForceVec]>,
 ) -> Result<Vec<f64>, DynamicsError> {
-    assert_eq!(tau.len(), model.nv(), "tau dimension");
-    let minv = mminv_gen(model, ws, q, false, true)?
-        .minv
-        .expect("minv requested");
-    let c = bias_force(model, ws, q, qd, fext);
-    let rhs = VecN::from_vec(tau.iter().zip(&c).map(|(t, c)| t - c).collect());
-    Ok(minv.mul_vec(&rhs).as_slice().to_vec())
+    let mut qdd = vec![0.0; model.nv()];
+    forward_dynamics_into(model, ws, q, qd, tau, fext, &mut qdd)?;
+    Ok(qdd)
+}
+
+/// [`forward_dynamics`] into a caller-provided output slice: zero heap
+/// allocation in steady state (`M⁻¹` and the bias force live in `ws`).
+///
+/// # Errors
+/// Returns an error when the mass matrix is singular.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn forward_dynamics_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    fext: Option<&[ForceVec]>,
+    qdd_out: &mut [f64],
+) -> Result<(), DynamicsError> {
+    let nv = model.nv();
+    assert_eq!(tau.len(), nv, "tau dimension");
+    assert_eq!(qdd_out.len(), nv, "qdd output dimension");
+    // M⁻¹ into the workspace scratch (temporarily moved out so `ws` can
+    // be passed down; `mem::take`/restore moves the buffer, not the heap).
+    let mut minv = std::mem::take(&mut ws.minv_scratch);
+    let result = mminv_gen_into(model, ws, q, None, Some(&mut minv));
+    if let Err(e) = result {
+        ws.minv_scratch = minv;
+        return Err(e);
+    }
+    // C into ws.tau, rhs = τ - C into ws.rhs_scratch.
+    bias_force_in_ws(model, ws, q, qd, fext);
+    for i in 0..nv {
+        ws.rhs_scratch[i] = tau[i] - ws.tau[i];
+    }
+    minv.mul_slice_into(&ws.rhs_scratch, qdd_out);
+    ws.minv_scratch = minv;
+    Ok(())
 }
 
 /// Result of [`fd_derivatives`] / [`fd_derivatives_with_minv`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct FdDerivatives {
     /// `∂q̈/∂q` (tangent space), `nv × nv`.
     pub dqdd_dq: MatN,
@@ -52,9 +90,34 @@ pub struct FdDerivatives {
     pub qdd: Vec<f64>,
 }
 
+impl FdDerivatives {
+    /// Zero-initialized output storage for an `nv`-DOF model, meant to be
+    /// reused across [`fd_derivatives_into`] calls.
+    pub fn zeros(nv: usize) -> Self {
+        Self {
+            dqdd_dq: MatN::zeros(nv, nv),
+            dqdd_dqd: MatN::zeros(nv, nv),
+            dqdd_dtau: MatN::zeros(nv, nv),
+            qdd: vec![0.0; nv],
+        }
+    }
+
+    /// Reshapes the buffers for an `nv`-DOF model; a no-op (and hence
+    /// allocation-free) when the dimensions already match.
+    pub fn ensure_dims(&mut self, nv: usize) {
+        self.dqdd_dq.resize(nv, nv);
+        self.dqdd_dqd.resize(nv, nv);
+        self.dqdd_dtau.resize(nv, nv);
+        self.qdd.resize(nv, 0.0);
+    }
+}
+
 /// `ΔFD`: derivatives of forward dynamics,
 /// `∂_u q̈ = -M⁻¹ ∂_u τ|_{q̈ = FD}` (Eq. 3; the paper's 6-step pipeline of
 /// Fig 9a).
+///
+/// Allocates a fresh [`FdDerivatives`] per call; hot paths should hold
+/// one and call [`fd_derivatives_into`] instead.
 ///
 /// # Errors
 /// Returns an error when the mass matrix is singular.
@@ -66,15 +129,41 @@ pub fn fd_derivatives(
     tau: &[f64],
     fext: Option<&[ForceVec]>,
 ) -> Result<FdDerivatives, DynamicsError> {
+    let mut out = FdDerivatives::zeros(model.nv());
+    fd_derivatives_into(model, ws, q, qd, tau, fext, &mut out)?;
+    Ok(out)
+}
+
+/// [`fd_derivatives`] into caller-reused output storage: zero heap
+/// allocation in steady state.
+///
+/// # Errors
+/// Returns an error when the mass matrix is singular.
+///
+/// # Panics
+/// Panics on input dimension mismatches.
+pub fn fd_derivatives_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    fext: Option<&[ForceVec]>,
+    out: &mut FdDerivatives,
+) -> Result<(), DynamicsError> {
+    let nv = model.nv();
+    assert_eq!(tau.len(), nv, "tau dimension");
+    out.ensure_dims(nv);
     // Steps ①-③: C, M⁻¹, q̈ (Fig 9a).
-    let minv = mminv_gen(model, ws, q, false, true)?
-        .minv
-        .expect("minv requested");
-    let c = bias_force(model, ws, q, qd, fext);
-    let rhs = VecN::from_vec(tau.iter().zip(&c).map(|(t, c)| t - c).collect());
-    let qdd = minv.mul_vec(&rhs).as_slice().to_vec();
+    mminv_gen_into(model, ws, q, None, Some(&mut out.dqdd_dtau))?;
+    bias_force_in_ws(model, ws, q, qd, fext);
+    for i in 0..nv {
+        ws.rhs_scratch[i] = tau[i] - ws.tau[i];
+    }
+    out.dqdd_dtau.mul_slice_into(&ws.rhs_scratch, &mut out.qdd);
     // Steps ④-⑥: ΔID at q̈, then the M⁻¹ products.
-    Ok(difd_core(model, ws, q, qd, &qdd, minv, fext))
+    difd_core_into(model, ws, q, qd, fext, out);
+    Ok(())
 }
 
 /// `ΔiFD`: derivatives of dynamics with `M⁻¹` (and `q̈`) already known —
@@ -93,35 +182,80 @@ pub fn fd_derivatives_with_minv(
     fext: Option<&[ForceVec]>,
 ) -> FdDerivatives {
     assert_eq!(minv.rows(), model.nv());
-    difd_core(model, ws, q, qd, qdd, minv, fext)
+    let mut out = FdDerivatives::zeros(model.nv());
+    out.dqdd_dtau = minv;
+    out.qdd.copy_from_slice(qdd);
+    difd_core_into(model, ws, q, qd, fext, &mut out);
+    out
 }
 
-fn difd_core(
+/// [`fd_derivatives_with_minv`] into caller-reused output storage (the
+/// supplied `M⁻¹` is copied into `out.dqdd_dtau`): zero heap allocation
+/// in steady state.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)] // mirrors the Table I ΔiFD signature + output
+pub fn fd_derivatives_with_minv_into(
     model: &RobotModel,
     ws: &mut DynamicsWorkspace,
     q: &[f64],
     qd: &[f64],
     qdd: &[f64],
-    minv: MatN,
+    minv: &MatN,
     fext: Option<&[ForceVec]>,
-) -> FdDerivatives {
+    out: &mut FdDerivatives,
+) {
     let nv = model.nv();
-    let did = rnea_derivatives(model, ws, q, qd, qdd, fext);
-    // ∂q̈/∂u = -M⁻¹ ∂τ/∂u
-    let mut dqdd_dq = minv.mul_mat(&did.dtau_dq);
-    let mut dqdd_dqd = minv.mul_mat(&did.dtau_dqd);
-    for i in 0..nv {
-        for j in 0..nv {
-            dqdd_dq[(i, j)] = -dqdd_dq[(i, j)];
-            dqdd_dqd[(i, j)] = -dqdd_dqd[(i, j)];
-        }
-    }
-    FdDerivatives {
-        dqdd_dq,
-        dqdd_dqd,
-        dqdd_dtau: minv,
-        qdd: qdd.to_vec(),
-    }
+    assert_eq!(minv.rows(), nv);
+    assert_eq!(qdd.len(), nv, "qdd dimension");
+    out.ensure_dims(nv);
+    out.dqdd_dtau.copy_from(minv);
+    out.qdd.copy_from_slice(qdd);
+    difd_core_into(model, ws, q, qd, fext, out);
+}
+
+/// Shared ΔiFD tail: expects `out.dqdd_dtau = M⁻¹` and `out.qdd` set,
+/// fills `out.dqdd_dq` / `out.dqdd_dqd` via `∂q̈/∂u = -M⁻¹ ∂τ/∂u`.
+fn difd_core_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    fext: Option<&[ForceVec]>,
+    out: &mut FdDerivatives,
+) {
+    // ΔID scratch lives in the workspace; moved out so `ws` can be
+    // passed down (the move swaps buffers, no heap traffic).
+    let mut did = std::mem::take(&mut ws.did_scratch);
+    // Borrow dance: `out.qdd` is read while `out` matrices are written
+    // afterwards, so the ΔID call only borrows disjoint pieces.
+    rnea_derivatives_into(model, ws, q, qd, &out.qdd, fext, &mut did);
+    // ∂q̈/∂u = -M⁻¹ ∂τ/∂u, computed as -(∂τ/∂uᵀ · M⁻¹ᵀ)ᵀ: putting the
+    // branch-sparse ∂τ matrix on the left lets the product skip its zero
+    // blocks (Fig 5 sparsity), at the cost of one O(nv²) transpose of
+    // M⁻¹ — exact for any M⁻¹ (same multiply pairs, same k-summation
+    // order as the direct product; skipped terms are exact zeros).
+    let nv = model.nv();
+    let mut tr = std::mem::take(&mut ws.mat_scratch_a);
+    let mut prod_t = std::mem::take(&mut ws.mat_scratch_b);
+    let mut minv_t = std::mem::take(&mut ws.minv_scratch);
+    tr.resize(nv, nv);
+    prod_t.resize(nv, nv);
+    minv_t.resize(nv, nv);
+    out.dqdd_dtau.transpose_into(&mut minv_t);
+    did.dtau_dq.transpose_into(&mut tr);
+    tr.mul_mat_into(&minv_t, &mut prod_t);
+    prod_t.transpose_into(&mut out.dqdd_dq);
+    out.dqdd_dq.scale(-1.0);
+    did.dtau_dqd.transpose_into(&mut tr);
+    tr.mul_mat_into(&minv_t, &mut prod_t);
+    prod_t.transpose_into(&mut out.dqdd_dqd);
+    out.dqdd_dqd.scale(-1.0);
+    ws.mat_scratch_a = tr;
+    ws.mat_scratch_b = prod_t;
+    ws.minv_scratch = minv_t;
+    ws.did_scratch = did;
 }
 
 #[cfg(test)]
@@ -129,6 +263,7 @@ mod tests {
     use super::*;
     use crate::aba::aba;
     use crate::finite_diff::fd_derivatives_numeric;
+    use crate::mminv::mminv_gen;
     use rbd_model::{random_state, robots, RobotModel};
 
     fn check_fd_matches_aba(model: &RobotModel, seed: u64, tol: f64) {
@@ -215,10 +350,86 @@ mod tests {
             .unwrap()
             .minv
             .unwrap();
-        let difd =
-            fd_derivatives_with_minv(&model, &mut ws, &s.q, &s.qd, &full.qdd, minv, None);
+        let difd = fd_derivatives_with_minv(&model, &mut ws, &s.q, &s.qd, &full.qdd, minv, None);
         assert!((&full.dqdd_dq - &difd.dqdd_dq).max_abs() < 1e-10);
         assert!((&full.dqdd_dqd - &difd.dqdd_dqd).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn with_minv_into_matches_by_value_variant() {
+        let model = robots::atlas();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 12);
+        let tau: Vec<f64> = (0..model.nv()).map(|k| 0.1 * k as f64 - 0.5).collect();
+        let full = fd_derivatives(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
+        let minv = mminv_gen(&model, &mut ws, &s.q, false, true)
+            .unwrap()
+            .minv
+            .unwrap();
+        let by_value =
+            fd_derivatives_with_minv(&model, &mut ws, &s.q, &s.qd, &full.qdd, minv.clone(), None);
+        let mut reused = FdDerivatives::zeros(0);
+        fd_derivatives_with_minv_into(
+            &model,
+            &mut ws,
+            &s.q,
+            &s.qd,
+            &full.qdd,
+            &minv,
+            None,
+            &mut reused,
+        );
+        assert_eq!((&by_value.dqdd_dq - &reused.dqdd_dq).max_abs(), 0.0);
+        assert_eq!((&by_value.dqdd_dqd - &reused.dqdd_dqd).max_abs(), 0.0);
+        assert_eq!((&by_value.dqdd_dtau - &reused.dqdd_dtau).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn with_minv_is_exact_for_asymmetric_input() {
+        // The sparse-product evaluation must implement the documented
+        // -M⁻¹·∂τ for ANY supplied matrix, not only symmetric ones.
+        let model = robots::iiwa();
+        let nv = model.nv();
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 51);
+        let qdd: Vec<f64> = (0..nv).map(|k| 0.2 - 0.04 * k as f64).collect();
+        // A deliberately asymmetric "M⁻¹".
+        let minv = MatN::from_fn(nv, nv, |i, j| {
+            1.0 / (1.0 + (i + 2 * j) as f64) + if i == j { 2.0 } else { 0.0 }
+        });
+        let d = fd_derivatives_with_minv(&model, &mut ws, &s.q, &s.qd, &qdd, minv.clone(), None);
+        let did = crate::rnea_derivatives(&model, &mut ws, &s.q, &s.qd, &qdd, None);
+        let mut expect_dq = minv.mul_mat(&did.dtau_dq);
+        expect_dq.scale(-1.0);
+        let mut expect_dqd = minv.mul_mat(&did.dtau_dqd);
+        expect_dqd.scale(-1.0);
+        assert_eq!((&d.dqdd_dq - &expect_dq).max_abs(), 0.0);
+        assert_eq!((&d.dqdd_dqd - &expect_dqd).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn into_reuse_matches_fresh_run() {
+        for model in [robots::hyq(), robots::atlas()] {
+            let mut ws = DynamicsWorkspace::new(&model);
+            let mut out = FdDerivatives::zeros(model.nv());
+            let s1 = random_state(&model, 41);
+            let s2 = random_state(&model, 42);
+            let tau: Vec<f64> = (0..model.nv()).map(|k| 0.4 - 0.02 * k as f64).collect();
+            fd_derivatives_into(&model, &mut ws, &s2.q, &s2.qd, &tau, None, &mut out).unwrap();
+            fd_derivatives_into(&model, &mut ws, &s1.q, &s1.qd, &tau, None, &mut out).unwrap();
+
+            let mut fresh_ws = DynamicsWorkspace::new(&model);
+            let fresh = fd_derivatives(&model, &mut fresh_ws, &s1.q, &s1.qd, &tau, None).unwrap();
+            assert_eq!(
+                (&out.dqdd_dq - &fresh.dqdd_dq).max_abs(),
+                0.0,
+                "{}",
+                model.name()
+            );
+            assert_eq!((&out.dqdd_dqd - &fresh.dqdd_dqd).max_abs(), 0.0);
+            assert_eq!((&out.dqdd_dtau - &fresh.dqdd_dtau).max_abs(), 0.0);
+            assert_eq!(out.qdd, fresh.qdd);
+        }
     }
 
     #[test]
@@ -227,7 +438,9 @@ mod tests {
         let model = robots::quadruped_arm();
         let mut ws = DynamicsWorkspace::new(&model);
         let s = random_state(&model, 8);
-        let qdd_in: Vec<f64> = (0..model.nv()).map(|k| 0.2 * (k % 5) as f64 - 0.4).collect();
+        let qdd_in: Vec<f64> = (0..model.nv())
+            .map(|k| 0.2 * (k % 5) as f64 - 0.4)
+            .collect();
         let tau = crate::rnea::rnea(&model, &mut ws, &s.q, &s.qd, &qdd_in, None);
         let qdd = forward_dynamics(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap();
         for k in 0..model.nv() {

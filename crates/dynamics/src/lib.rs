@@ -15,8 +15,33 @@
 //! software baseline *and* the functional reference against which the
 //! accelerator simulator is checked bit-for-bit (up to f64 rounding).
 //!
+//! # Workspace-reuse convention
+//!
 //! All algorithms share a [`DynamicsWorkspace`] (model/data split à la
-//! Pinocchio) so steady-state use performs no heap allocation.
+//! Pinocchio): every intermediate per-body/per-DOF table lives in a
+//! flat, stride-indexed buffer sized once per model, and the
+//! ancestor/subtree DOF index sets driving the sparse traversals are
+//! precomputed at construction. Each kernel comes in two forms:
+//!
+//! * the value-returning form (`rnea_derivatives`, `fd_derivatives`,
+//!   `mminv_gen`, `crba`, `forward_dynamics`) allocates exactly its
+//!   output per call;
+//! * the `*_into` form writes into caller-reused outputs and performs
+//!   **zero heap allocation in steady state** — enforced by a
+//!   counting-allocator regression test (`tests/zero_alloc.rs`).
+//!
+//! Outputs depend only on the call's inputs, never on leftover scratch
+//! contents, so reusing one workspace across different states is exact
+//! (also under test).
+//!
+//! # Batch-evaluation convention
+//!
+//! Independent sampling points — the LQ approximation of an MPC
+//! iteration (Fig 2c), the Fig 13 RK4 sensitivity chains — go through
+//! [`BatchEval`]: a pool of per-thread workspaces fanned out with
+//! `std::thread::scope`. Per-point outputs are written to per-point
+//! slots, so the result is identical to the serial loop for any worker
+//! count.
 //!
 //! # Example
 //!
@@ -36,6 +61,7 @@
 //! ```
 
 pub mod aba;
+pub mod batch;
 pub mod crba;
 pub mod derivatives;
 pub mod energy;
@@ -48,15 +74,19 @@ pub mod rnea;
 pub mod workspace;
 
 pub use aba::aba;
-pub use crba::crba;
-pub use derivatives::{rnea_derivatives, RneaDerivatives};
+pub use batch::{BatchEval, SamplePoint};
+pub use crba::{crba, crba_into};
+pub use derivatives::{rnea_derivatives, rnea_derivatives_into, RneaDerivatives};
 pub use energy::{kinetic_energy, potential_energy, total_energy};
-pub use fd::{fd_derivatives, fd_derivatives_with_minv, forward_dynamics, FdDerivatives};
+pub use fd::{
+    fd_derivatives, fd_derivatives_into, fd_derivatives_with_minv, fd_derivatives_with_minv_into,
+    forward_dynamics, forward_dynamics_into, FdDerivatives,
+};
 pub use finite_diff::{fd_derivatives_numeric, rnea_derivatives_numeric};
 pub use jacobian::{body_jacobian_world, body_position_world, point_velocity_world};
-pub use mminv::{mminv_gen, MMinvOutput};
+pub use mminv::{mminv_gen, mminv_gen_into, MMinvOutput};
 pub use momentum::{center_of_mass, spatial_momentum, total_mass};
-pub use rnea::{rnea, rnea_with_gravity_scale};
+pub use rnea::{bias_force, bias_force_in_ws, rnea, rnea_in_ws, rnea_with_gravity_scale};
 pub use workspace::DynamicsWorkspace;
 
 /// Error type for dynamics computations that can fail (singular mass

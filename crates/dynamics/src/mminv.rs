@@ -7,10 +7,16 @@
 //! fused form avoids one full forward sweep and exposes the reciprocal
 //! (`D⁻¹`) early — the property the paper's Backward-Forward RTP exploits
 //! to overlap decomposition with generation (§III-A, §IV-B).
+//!
+//! The kernel is allocation-free in steady state: the per-DOF force
+//! accumulators, `U` columns, `D⁻¹` blocks and forward-sweep motion
+//! columns all live in flat [`DynamicsWorkspace`] buffers, and the
+//! joint-space blocks (`≤ 6×6`) are factorized on the stack.
 
 use crate::workspace::DynamicsWorkspace;
 use crate::DynamicsError;
 use rbd_model::RobotModel;
+use rbd_spatial::matn::FactorizationError;
 use rbd_spatial::{ForceVec, Mat6, MatN, MotionVec};
 
 /// Output selector and results for [`mminv_gen`], mirroring the paper's
@@ -23,6 +29,61 @@ pub struct MMinvOutput {
     pub minv: Option<MatN>,
 }
 
+/// Inverts the SPD joint-space block `d` (`n ≤ 6`) on the stack via
+/// unpivoted LDLᵀ, mirroring `MatN::inverse_spd` (same operation order,
+/// same pivot threshold) so results are bit-identical to the dense path.
+fn invert_spd_small(d: &[[f64; 6]; 6], n: usize) -> Result<[[f64; 6]; 6], FactorizationError> {
+    let mut l = [[0.0; 6]; 6];
+    let mut diag = [0.0; 6];
+    for i in 0..n {
+        l[i][i] = 1.0;
+    }
+    for j in 0..n {
+        let mut dj = d[j][j];
+        for k in 0..j {
+            dj -= l[j][k] * l[j][k] * diag[k];
+        }
+        if dj.abs() < 1e-12 {
+            return Err(FactorizationError::ZeroPivot { index: j });
+        }
+        diag[j] = dj;
+        for i in (j + 1)..n {
+            let mut s = d[i][j];
+            for k in 0..j {
+                s -= l[i][k] * l[j][k] * diag[k];
+            }
+            l[i][j] = s / dj;
+        }
+    }
+    let mut inv = [[0.0; 6]; 6];
+    for j in 0..n {
+        // Solve L D Lᵀ x = e_j into column j.
+        let mut x = [0.0; 6];
+        x[j] = 1.0;
+        for i in 0..n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= l[i][k] * x[k];
+            }
+            x[i] = s;
+        }
+        for i in 0..n {
+            x[i] /= diag[i];
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= l[k][i] * x[k];
+            }
+            x[i] = s;
+        }
+        for i in 0..n {
+            inv[i][j] = x[i];
+        }
+    }
+    Ok(inv)
+}
+
 /// Runs Algorithm 2 (MMinvGen) on configuration `q`.
 ///
 /// * `out_m` — produce the mass matrix (CRBA-equivalent path);
@@ -31,6 +92,9 @@ pub struct MMinvOutput {
 /// Both may be requested at once; the reference implementation keeps the
 /// two `F` accumulators separate (the hardware time-multiplexes one
 /// buffer because the modes are distinguished by micro-instruction).
+///
+/// Allocates the requested output matrices per call; hot paths should
+/// reuse outputs through [`mminv_gen_into`].
 ///
 /// # Errors
 /// Returns [`DynamicsError::SingularMassMatrix`] if a joint-space block
@@ -57,206 +121,245 @@ pub fn mminv_gen(
     out_m: bool,
     out_minv: bool,
 ) -> Result<MMinvOutput, DynamicsError> {
-    assert_eq!(q.len(), model.nq(), "q dimension");
     assert!(out_m || out_minv, "request at least one output");
+    let nv = model.nv();
+    let mut m_mat = out_m.then(|| MatN::zeros(nv, nv));
+    let mut minv = out_minv.then(|| MatN::zeros(nv, nv));
+    mminv_gen_into(model, ws, q, m_mat.as_mut(), minv.as_mut())?;
+    Ok(MMinvOutput { m: m_mat, minv })
+}
+
+/// [`mminv_gen`] into caller-reused output matrices: performs zero heap
+/// allocation in steady state. Pass `Some(&mut m)` / `Some(&mut minv)`
+/// for the outputs you need; each provided matrix is reshaped to
+/// `nv × nv` (allocation-free once sized) and fully overwritten.
+///
+/// # Errors
+/// Returns [`DynamicsError::SingularMassMatrix`] if a joint-space block
+/// is singular.
+///
+/// # Panics
+/// Panics if `q.len() != model.nq()` or neither output is requested.
+pub fn mminv_gen_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    mut out_m: Option<&mut MatN>,
+    mut out_minv: Option<&mut MatN>,
+) -> Result<(), DynamicsError> {
+    assert_eq!(q.len(), model.nq(), "q dimension");
+    assert!(
+        out_m.is_some() || out_minv.is_some(),
+        "request at least one output"
+    );
     let nb = model.num_bodies();
     let nv = model.nv();
     ws.update_kinematics(model, q);
 
-    let mut m_mat = if out_m { Some(MatN::zeros(nv, nv)) } else { None };
-    let mut minv = if out_minv { Some(MatN::zeros(nv, nv)) } else { None };
-
-    // Articulated inertias, lazily accumulated (children add into parents).
-    // The Minv path decrements IA to the articulated-body inertia (line 13
-    // of Algorithm 2) while the M path needs the plain composite inertia,
-    // so dual-output mode keeps a second accumulator (the hardware never
-    // runs both modes in one task, so it shares one buffer).
-    for i in 0..nb {
-        ws.ia[i] = Mat6::zero();
+    let want_m = out_m.is_some();
+    let want_minv = out_minv.is_some();
+    if let Some(m) = out_m.as_deref_mut() {
+        m.resize(nv, nv);
+        m.fill(0.0);
     }
-    let mut ia_m: Vec<Mat6> = if out_m {
-        vec![Mat6::zero(); nb]
-    } else {
-        Vec::new()
-    };
-    // Per-dof force accumulators, one per mode (frame of the owning body).
-    let mut f_minv: Vec<Vec<ForceVec>> = vec![vec![ForceVec::zero(); nv]; nb];
-    let mut f_m: Vec<Vec<ForceVec>> = vec![vec![ForceVec::zero(); nv]; nb];
-    // Factors saved for the forward sweep.
-    let mut u_cols: Vec<Vec<ForceVec>> = vec![Vec::new(); nb];
-    let mut d_inv: Vec<MatN> = vec![MatN::zeros(0, 0); nb];
+    if let Some(mi) = out_minv.as_deref_mut() {
+        mi.resize(nv, nv);
+        mi.fill(0.0);
+    }
+
+    let DynamicsWorkspace {
+        s,
+        xup,
+        ia,
+        ia_m,
+        f_minv,
+        f_m,
+        u_cols,
+        u_m_cols,
+        d_inv,
+        p_cols,
+        desc_offsets,
+        desc_dofs,
+        ..
+    } = ws;
+    let desc = |i: usize| &desc_dofs[desc_offsets[i]..desc_offsets[i + 1]];
+
+    // Reset the accumulators this call will read before writing: the
+    // articulated inertias, and each body's force-accumulator slots at
+    // its own + descendant DOFs (everything else is never touched).
+    for i in 0..nb {
+        ia[i] = Mat6::zero();
+        if want_m {
+            ia_m[i] = Mat6::zero();
+        }
+        let row = i * nv;
+        let bi = model.v_offset(i);
+        let ni = s[i].len();
+        for j in (bi..bi + ni).chain(desc(i).iter().copied()) {
+            if want_minv {
+                f_minv[row + j] = ForceVec::zero();
+            }
+            if want_m {
+                f_m[row + j] = ForceVec::zero();
+            }
+        }
+    }
 
     // ------------------------------------------------------- backward pass
     for i in (0..nb).rev() {
         let bi = model.v_offset(i);
-        let ni = ws.s[i].len();
+        let ni = s[i].len();
+        let row = i * nv;
 
         // IA_i += I_i  (children already accumulated their contributions)
-        ws.ia[i] += model.link_inertia(i).to_mat6();
-        if out_m {
+        ia[i] += model.link_inertia(i).to_mat6();
+        if want_m {
             ia_m[i] += model.link_inertia(i).to_mat6();
         }
 
         // U = IA S ;  D = Sᵀ U   (articulated quantities, Minv path)
-        let u: Vec<ForceVec> = ws.s[i]
-            .iter()
-            .map(|s| ws.ia[i].mul_motion_to_force(s))
-            .collect();
-        let mut d = MatN::zeros(ni, ni);
+        for (a, sa) in s[i].iter().enumerate() {
+            u_cols[bi + a] = ia[i].mul_motion_to_force(sa);
+        }
+        let mut d = [[0.0; 6]; 6];
         for a in 0..ni {
             for b in 0..ni {
-                d[(a, b)] = ws.s[i][a].dot_force(&u[b]);
+                d[a][b] = s[i][a].dot_force(&u_cols[bi + b]);
             }
         }
-        let dinv = d.inverse_spd()?;
+        let dinv = invert_spd_small(&d, ni).map_err(DynamicsError::SingularMassMatrix)?;
+        d_inv[i] = dinv;
         // Composite-inertia variants for the M path.
-        let u_m: Vec<ForceVec> = if out_m {
-            ws.s[i]
-                .iter()
-                .map(|s| ia_m[i].mul_motion_to_force(s))
-                .collect()
-        } else {
-            Vec::new()
-        };
+        if want_m {
+            for (a, sa) in s[i].iter().enumerate() {
+                u_m_cols[bi + a] = ia_m[i].mul_motion_to_force(sa);
+            }
+        }
 
-        let subtree = model.topology().subtree(i);
-        // DOF ids in treee(i) (strict descendants).
-        let desc_dofs: Vec<usize> = subtree
-            .iter()
-            .filter(|&&b| b != i)
-            .flat_map(|&b| {
-                let o = model.v_offset(b);
-                o..o + ws.s[b].len()
-            })
-            .collect();
-
-        if let Some(minv) = minv.as_mut() {
+        if let Some(minv) = out_minv.as_deref_mut() {
             // Minv[i, i] = D⁻¹
             for a in 0..ni {
                 for b in 0..ni {
-                    minv[(bi + a, bi + b)] = dinv[(a, b)];
+                    minv[(bi + a, bi + b)] = dinv[a][b];
                 }
             }
             // Minv[i, treee(i)] = -D⁻¹ Sᵀ F[:, treee(i)]
-            for &j in &desc_dofs {
+            for &j in desc(i) {
                 for a in 0..ni {
                     let mut acc = 0.0;
                     for b in 0..ni {
-                        acc += dinv[(a, b)] * ws.s[i][b].dot_force(&f_minv[i][j]);
+                        acc += dinv[a][b] * s[i][b].dot_force(&f_minv[row + j]);
                     }
                     minv[(bi + a, j)] = -acc;
                 }
             }
         }
-        if let Some(m) = m_mat.as_mut() {
+        if let Some(m) = out_m.as_deref_mut() {
             // M[i, i] = Sᵀ I^c S ; M[i, treee(i)] = Sᵀ F[:, treee(i)]
             for a in 0..ni {
                 for b in 0..ni {
-                    m[(bi + a, bi + b)] = ws.s[i][a].dot_force(&u_m[b]);
+                    m[(bi + a, bi + b)] = s[i][a].dot_force(&u_m_cols[bi + b]);
                 }
             }
-            for &j in &desc_dofs {
+            for &j in desc(i) {
                 for a in 0..ni {
-                    m[(bi + a, j)] = ws.s[i][a].dot_force(&f_m[i][j]);
+                    m[(bi + a, j)] = s[i][a].dot_force(&f_m[row + j]);
                 }
             }
         }
 
         if let Some(p) = model.topology().parent(i) {
-            let own_and_desc: Vec<usize> =
-                (bi..bi + ni).chain(desc_dofs.iter().copied()).collect();
-            if let Some(minv) = minv.as_ref() {
+            let prow = p * nv;
+            let own_and_desc = (bi..bi + ni).chain(desc(i).iter().copied());
+            if let Some(minv) = out_minv.as_deref() {
                 // F[:, tree(i)] += U · Minv[i, tree(i)]
-                for &j in &own_and_desc {
+                for j in own_and_desc.clone() {
                     for a in 0..ni {
-                        f_minv[i][j] += u[a] * minv[(bi + a, j)];
+                        f_minv[row + j] += u_cols[bi + a] * minv[(bi + a, j)];
                     }
                 }
                 // IA_i -= U D⁻¹ Uᵀ
                 for a in 0..ni {
                     for b in 0..ni {
-                        let w = dinv[(a, b)];
+                        let w = dinv[a][b];
                         if w == 0.0 {
                             continue;
                         }
-                        let ua = u[a].to_array();
-                        let ub = u[b].to_array();
+                        let ua = u_cols[bi + a].to_array();
+                        let ub = u_cols[bi + b].to_array();
                         for r in 0..6 {
                             for c in 0..6 {
-                                ws.ia[i].m[r][c] -= ua[r] * w * ub[c];
+                                ia[i].m[r][c] -= ua[r] * w * ub[c];
                             }
                         }
                     }
                 }
             }
-            if m_mat.is_some() {
+            if want_m {
                 // F[:, i] = U  (composite-inertia columns)
                 for a in 0..ni {
-                    f_m[i][bi + a] = u_m[a];
+                    f_m[row + bi + a] = u_m_cols[bi + a];
                 }
             }
             // F_λ[:, tree(i)] += λX*_i F_i[:, tree(i)]
-            for &j in &own_and_desc {
-                if minv.is_some() {
-                    let shifted = ws.xup[i].inv_apply_force(&f_minv[i][j]);
-                    f_minv[p][j] += shifted;
+            for j in own_and_desc {
+                if want_minv {
+                    let shifted = xup[i].inv_apply_force(&f_minv[row + j]);
+                    f_minv[prow + j] += shifted;
                 }
-                if m_mat.is_some() {
-                    let shifted = ws.xup[i].inv_apply_force(&f_m[i][j]);
-                    f_m[p][j] += shifted;
+                if want_m {
+                    let shifted = xup[i].inv_apply_force(&f_m[row + j]);
+                    f_m[prow + j] += shifted;
                 }
             }
             // IA_λ += λX*_i IA_i iX_λ
-            let x6 = Mat6::from_xform_motion(&ws.xup[i]);
-            let shifted = ws.ia[i].congruence(&x6);
-            ws.ia[p] += shifted;
-            if out_m {
+            let x6 = Mat6::from_xform_motion(&xup[i]);
+            let shifted = ia[i].congruence(&x6);
+            ia[p] += shifted;
+            if want_m {
                 let shifted_m = ia_m[i].congruence(&x6);
                 ia_m[p] += shifted_m;
             }
         }
-
-        u_cols[i] = u;
-        d_inv[i] = dinv;
     }
 
     // ------------------------------------------------------- forward pass
-    if let Some(minv) = minv.as_mut() {
-        let mut p_cols: Vec<Vec<MotionVec>> = vec![vec![MotionVec::zero(); nv]; nb];
+    if let Some(minv) = out_minv {
         for i in 0..nb {
             let bi = model.v_offset(i);
-            let ni = ws.s[i].len();
+            let ni = s[i].len();
+            let row = i * nv;
             let parent = model.topology().parent(i);
             for j in bi..nv {
-                let from_parent = parent.map(|p| ws.xup[i].apply_motion(&p_cols[p][j]));
+                let from_parent = parent.map(|p| xup[i].apply_motion(&p_cols[p * nv + j]));
                 if let Some(tp) = from_parent {
                     // Minv[i, i:] -= D⁻¹ Uᵀ (iX_λ P_λ[:, i:])
                     for a in 0..ni {
                         let mut acc = 0.0;
                         for b in 0..ni {
-                            acc += d_inv[i][(a, b)] * u_cols[i][b].dot_motion(&tp);
+                            acc += d_inv[i][a][b] * u_cols[bi + b].dot_motion(&tp);
                         }
                         minv[(bi + a, j)] -= acc;
                     }
                 }
                 // P_i[:, i:] = S Minv[i, i:] (+ iX_λ P_λ[:, i:])
                 let mut pcol = MotionVec::zero();
-                for (a, s) in ws.s[i].iter().enumerate() {
-                    pcol += *s * minv[(bi + a, j)];
+                for (a, sa) in s[i].iter().enumerate() {
+                    pcol += *sa * minv[(bi + a, j)];
                 }
                 if let Some(tp) = from_parent {
                     pcol += tp;
                 }
-                p_cols[i][j] = pcol;
+                p_cols[row + j] = pcol;
             }
         }
         minv.symmetrize_from_upper();
     }
-    if let Some(m) = m_mat.as_mut() {
+    if let Some(m) = out_m {
         m.symmetrize_from_upper();
     }
 
-    Ok(MMinvOutput { m: m_mat, minv })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -351,6 +454,26 @@ mod tests {
         assert!((&only_minv.minv.unwrap() - both.minv.as_ref().unwrap()).max_abs() < 1e-12);
         assert!(only_m.minv.is_none());
         assert!(only_minv.m.is_none());
+    }
+
+    #[test]
+    fn into_reuse_matches_fresh_run() {
+        // Dirty workspace + reused outputs must reproduce a fresh
+        // evaluation bit-for-bit.
+        for model in [robots::hyq(), robots::atlas()] {
+            let mut ws = DynamicsWorkspace::new(&model);
+            let s1 = random_state(&model, 31);
+            let s2 = random_state(&model, 32);
+            let mut m = MatN::zeros(0, 0);
+            let mut minv = MatN::zeros(0, 0);
+            mminv_gen_into(&model, &mut ws, &s2.q, Some(&mut m), Some(&mut minv)).unwrap();
+            mminv_gen_into(&model, &mut ws, &s1.q, Some(&mut m), Some(&mut minv)).unwrap();
+
+            let mut fresh_ws = DynamicsWorkspace::new(&model);
+            let fresh = mminv_gen(&model, &mut fresh_ws, &s1.q, true, true).unwrap();
+            assert_eq!((&m - &fresh.m.unwrap()).max_abs(), 0.0, "{}", model.name());
+            assert_eq!((&minv - &fresh.minv.unwrap()).max_abs(), 0.0);
+        }
     }
 
     #[test]

@@ -56,6 +56,24 @@ pub fn rnea_with_gravity_scale(
     fext: Option<&[ForceVec]>,
     gravity_scale: f64,
 ) -> Vec<f64> {
+    rnea_in_ws(model, ws, q, qd, qdd, fext, gravity_scale);
+    ws.tau.clone()
+}
+
+/// [`rnea_with_gravity_scale`] leaving the torque in `ws.tau` instead of
+/// returning it — the zero-allocation form of the kernel.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn rnea_in_ws(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    fext: Option<&[ForceVec]>,
+    gravity_scale: f64,
+) {
     let nb = model.num_bodies();
     assert_eq!(q.len(), model.nq(), "q dimension");
     assert_eq!(qd.len(), model.nv(), "qd dimension");
@@ -67,10 +85,7 @@ pub fn rnea_with_gravity_scale(
     ws.update_kinematics(model, q);
     // a0 = -g expressed as a motion vector (d'Alembert trick: gravity is
     // implemented as an upward acceleration of the base).
-    let a0 = MotionVec::new(
-        rbd_spatial::Vec3::zero(),
-        -model.gravity * gravity_scale,
-    );
+    let a0 = MotionVec::new(rbd_spatial::Vec3::zero(), -model.gravity * gravity_scale);
 
     // Forward pass: velocities, accelerations, net body forces.
     for i in 0..nb {
@@ -115,7 +130,6 @@ pub fn rnea_with_gravity_scale(
             ws.f[p] += fp;
         }
     }
-    ws.tau.clone()
 }
 
 /// Generalised bias force `C(q, q̇, f_ext) = ID(q, q̇, 0, f_ext)`.
@@ -126,8 +140,27 @@ pub fn bias_force(
     qd: &[f64],
     fext: Option<&[ForceVec]>,
 ) -> Vec<f64> {
-    let zero = vec![0.0; model.nv()];
-    rnea(model, ws, q, qd, &zero, fext)
+    bias_force_in_ws(model, ws, q, qd, fext);
+    ws.tau.clone()
+}
+
+/// [`bias_force`] leaving `C` in `ws.tau` instead of returning it — zero
+/// heap allocation (the constant zero `q̈` also lives in the workspace).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn bias_force_in_ws(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    fext: Option<&[ForceVec]>,
+) {
+    // The zero q̈ buffer is moved out for the call so `ws` can be borrowed
+    // mutably alongside it (a pointer swap, not an allocation).
+    let zero = std::mem::take(&mut ws.zero_qdd);
+    rnea_in_ws(model, ws, q, qd, &zero, fext, 1.0);
+    ws.zero_qdd = zero;
 }
 
 #[cfg(test)]

@@ -1,14 +1,23 @@
 //! Shared per-model scratch buffers (the "data" of a model/data split).
 
+use crate::derivatives::RneaDerivatives;
 use rbd_model::RobotModel;
-use rbd_spatial::{ForceVec, Mat6, MotionVec, Xform};
+use rbd_spatial::{ForceVec, Mat6, MatN, MotionVec, SpatialInertia, Xform};
 
 /// Pre-allocated buffers for the dynamics algorithms.
 ///
 /// Create one per model (and per thread) and reuse it across calls; all
-/// algorithms in this crate only write into these buffers and perform no
-/// steady-state allocation on the hot path (matrices returned to the
-/// caller are the exception).
+/// algorithms in this crate only write into these buffers and perform
+/// **zero steady-state heap allocation** on the hot path when used
+/// through the `*_into` entry points (the value-returning wrappers
+/// allocate only their outputs).
+///
+/// Nested per-body/per-DOF quantities are stored as flat, stride-indexed
+/// buffers: a per-body-per-DOF table lives in a single `Vec` of length
+/// `nb * nv`, entry `(i, j)` at index `i * nv + j`. The ancestor/subtree
+/// DOF index sets that drive the sparse traversals of the derivative and
+/// MMinvGen kernels are precomputed once at construction (they depend
+/// only on the model topology).
 #[derive(Debug, Clone)]
 pub struct DynamicsWorkspace {
     /// Local (child-frame) motion-subspace columns per body — constant.
@@ -37,6 +46,84 @@ pub struct DynamicsWorkspace {
     pub v_world: Vec<MotionVec>,
     /// World-frame acceleration per body (derivatives).
     pub a_world: Vec<MotionVec>,
+
+    // ------------------------------------------------------------------
+    // Precomputed topology index sets (constant per model).
+    // ------------------------------------------------------------------
+    /// Offsets into [`Self::chain_dofs`]; `chain_offsets[i]..chain_offsets[i+1]`
+    /// is body `i`'s slice.
+    pub chain_offsets: Vec<usize>,
+    /// The "incremental columns" of the paper (§IV-A4): for each body, the
+    /// DOF ids of its ancestors and itself, ascending.
+    pub chain_dofs: Vec<usize>,
+    /// Offsets into [`Self::desc_dofs`].
+    pub desc_offsets: Vec<usize>,
+    /// For each body, the DOF ids of its strict descendants (the paper's
+    /// `treee(i)`), ascending.
+    pub desc_dofs: Vec<usize>,
+    /// Offsets into [`Self::rel_dofs`].
+    pub rel_offsets: Vec<usize>,
+    /// For each body, the DOF ids related to it — ancestors, itself and
+    /// descendants, ascending. Everything outside this set yields an
+    /// exactly-zero entry in the derivative matrices (branch-induced
+    /// sparsity, Fig 5).
+    pub rel_dofs: Vec<usize>,
+
+    // ------------------------------------------------------------------
+    // ΔRNEA scratch (flat, stride `nv` per body).
+    // ------------------------------------------------------------------
+    /// World-frame `S q̇` per body.
+    pub vj_w: Vec<MotionVec>,
+    /// World-frame `S q̈` per body.
+    pub aj_w: Vec<MotionVec>,
+    /// World-frame spatial inertia per body.
+    pub inertia_w: Vec<SpatialInertia>,
+    /// `∂v_i/∂q_j` table, `nb × nv` flat.
+    pub dv_dq: Vec<MotionVec>,
+    /// `∂v_i/∂q̇_j` table, `nb × nv` flat.
+    pub dv_dqd: Vec<MotionVec>,
+    /// `∂a_i/∂q_j` table, `nb × nv` flat.
+    pub da_dq: Vec<MotionVec>,
+    /// `∂a_i/∂q̇_j` table, `nb × nv` flat.
+    pub da_dqd: Vec<MotionVec>,
+    /// Aggregated subtree force `∂q` derivatives, `nb × nv` flat.
+    pub df_dq: Vec<ForceVec>,
+    /// Aggregated subtree force `∂q̇` derivatives, `nb × nv` flat.
+    pub df_dqd: Vec<ForceVec>,
+
+    // ------------------------------------------------------------------
+    // MMinvGen scratch.
+    // ------------------------------------------------------------------
+    /// Composite-inertia accumulators for the `M` output path.
+    pub ia_m: Vec<Mat6>,
+    /// Per-DOF force accumulator (Minv path), `nb × nv` flat.
+    pub f_minv: Vec<ForceVec>,
+    /// Per-DOF force accumulator (M path), `nb × nv` flat.
+    pub f_m: Vec<ForceVec>,
+    /// `U = IA S` columns, indexed by DOF (articulated, Minv path).
+    pub u_cols: Vec<ForceVec>,
+    /// `U = I^c S` columns, indexed by DOF (composite, M path).
+    pub u_m_cols: Vec<ForceVec>,
+    /// `D⁻¹` joint-space blocks, one `≤6×6` block per body.
+    pub d_inv: Vec<[[f64; 6]; 6]>,
+    /// Forward-sweep motion columns `P`, `nb × nv` flat.
+    pub p_cols: Vec<MotionVec>,
+
+    // ------------------------------------------------------------------
+    // Forward-dynamics scratch.
+    // ------------------------------------------------------------------
+    /// `M⁻¹` scratch for [`crate::forward_dynamics_into`].
+    pub minv_scratch: MatN,
+    /// `nv × nv` matrix scratch (ΔFD sparse-product staging).
+    pub mat_scratch_a: MatN,
+    /// `nv × nv` matrix scratch (ΔFD sparse-product staging).
+    pub mat_scratch_b: MatN,
+    /// Right-hand-side / generalized-force scratch, length `nv`.
+    pub rhs_scratch: Vec<f64>,
+    /// Constant zero `q̈` used by the bias-force path, length `nv`.
+    pub zero_qdd: Vec<f64>,
+    /// ΔRNEA output scratch for the ΔFD chain (Eq. 3).
+    pub did_scratch: RneaDerivatives,
 }
 
 impl DynamicsWorkspace {
@@ -44,6 +131,57 @@ impl DynamicsWorkspace {
     pub fn new(model: &RobotModel) -> Self {
         let nb = model.num_bodies();
         let nv = model.nv();
+
+        // Ancestor+self DOF chains (ascending: parents have smaller
+        // offsets under the topological numbering).
+        let mut chain_offsets = Vec::with_capacity(nb + 1);
+        let mut chain_dofs: Vec<usize> = Vec::new();
+        let mut per_body_chain: Vec<(usize, usize)> = Vec::with_capacity(nb); // (start, end)
+        chain_offsets.push(0);
+        for i in 0..nb {
+            let start = chain_dofs.len();
+            if let Some(p) = model.topology().parent(i) {
+                let (ps, pe) = per_body_chain[p];
+                chain_dofs.extend_from_within(ps..pe);
+            }
+            let vo = model.v_offset(i);
+            chain_dofs.extend(vo..vo + model.joint(i).jtype.nv());
+            per_body_chain.push((start, chain_dofs.len()));
+            chain_offsets.push(chain_dofs.len());
+        }
+
+        // Strict-descendant DOF sets, built leaves→root.
+        let mut desc_per_body: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for i in (0..nb).rev() {
+            let mut d: Vec<usize> = Vec::new();
+            for &c in model.topology().children(i) {
+                let vo = model.v_offset(c);
+                d.extend(vo..vo + model.joint(c).jtype.nv());
+                d.extend_from_slice(&desc_per_body[c]);
+            }
+            d.sort_unstable();
+            desc_per_body[i] = d;
+        }
+        let mut desc_offsets = Vec::with_capacity(nb + 1);
+        let mut desc_dofs = Vec::new();
+        desc_offsets.push(0);
+        for d in &desc_per_body {
+            desc_dofs.extend_from_slice(d);
+            desc_offsets.push(desc_dofs.len());
+        }
+
+        // Related DOFs = chain ∪ descendants. Chain DOFs all precede
+        // descendant DOFs (ancestors and self have smaller offsets), so
+        // concatenation stays sorted.
+        let mut rel_offsets = Vec::with_capacity(nb + 1);
+        let mut rel_dofs = Vec::new();
+        rel_offsets.push(0);
+        for i in 0..nb {
+            rel_dofs.extend_from_slice(&chain_dofs[chain_offsets[i]..chain_offsets[i + 1]]);
+            rel_dofs.extend_from_slice(&desc_per_body[i]);
+            rel_offsets.push(rel_dofs.len());
+        }
+
         Self {
             s: (0..nb)
                 .map(|i| model.joint(i).jtype.motion_subspace())
@@ -60,7 +198,54 @@ impl DynamicsWorkspace {
             s_world: vec![MotionVec::zero(); nv],
             v_world: vec![MotionVec::zero(); nb],
             a_world: vec![MotionVec::zero(); nb],
+            chain_offsets,
+            chain_dofs,
+            desc_offsets,
+            desc_dofs,
+            rel_offsets,
+            rel_dofs,
+            vj_w: vec![MotionVec::zero(); nb],
+            aj_w: vec![MotionVec::zero(); nb],
+            inertia_w: vec![SpatialInertia::zero(); nb],
+            dv_dq: vec![MotionVec::zero(); nb * nv],
+            dv_dqd: vec![MotionVec::zero(); nb * nv],
+            da_dq: vec![MotionVec::zero(); nb * nv],
+            da_dqd: vec![MotionVec::zero(); nb * nv],
+            df_dq: vec![ForceVec::zero(); nb * nv],
+            df_dqd: vec![ForceVec::zero(); nb * nv],
+            ia_m: vec![Mat6::zero(); nb],
+            f_minv: vec![ForceVec::zero(); nb * nv],
+            f_m: vec![ForceVec::zero(); nb * nv],
+            u_cols: vec![ForceVec::zero(); nv],
+            u_m_cols: vec![ForceVec::zero(); nv],
+            d_inv: vec![[[0.0; 6]; 6]; nb],
+            p_cols: vec![MotionVec::zero(); nb * nv],
+            minv_scratch: MatN::zeros(nv, nv),
+            mat_scratch_a: MatN::zeros(nv, nv),
+            mat_scratch_b: MatN::zeros(nv, nv),
+            rhs_scratch: vec![0.0; nv],
+            zero_qdd: vec![0.0; nv],
+            did_scratch: RneaDerivatives::zeros(nv),
         }
+    }
+
+    /// Body `i`'s ancestor+self DOF ids (ascending).
+    #[inline]
+    pub fn chain(&self, i: usize) -> &[usize] {
+        &self.chain_dofs[self.chain_offsets[i]..self.chain_offsets[i + 1]]
+    }
+
+    /// Body `i`'s strict-descendant DOF ids (ascending).
+    #[inline]
+    pub fn desc(&self, i: usize) -> &[usize] {
+        &self.desc_dofs[self.desc_offsets[i]..self.desc_offsets[i + 1]]
+    }
+
+    /// Body `i`'s related DOF ids — ancestors, self and descendants
+    /// (ascending).
+    #[inline]
+    pub fn rel(&self, i: usize) -> &[usize] {
+        &self.rel_dofs[self.rel_offsets[i]..self.rel_offsets[i + 1]]
     }
 
     /// Recomputes `xup` and `xworld` for configuration `q` (forward
@@ -93,6 +278,8 @@ mod tests {
         assert_eq!(ws.s_world.len(), m.nv());
         let total_cols: usize = ws.s.iter().map(|s| s.len()).sum();
         assert_eq!(total_cols, m.nv());
+        assert_eq!(ws.dv_dq.len(), m.num_bodies() * m.nv());
+        assert_eq!(ws.df_dq.len(), m.num_bodies() * m.nv());
     }
 
     #[test]
@@ -116,5 +303,39 @@ mod tests {
         // (`trans` of `^3X_0` is the origin of frame 3 expressed in world).
         let p = ws.xworld[3].trans;
         assert!((p - Vec3::new(0.0, 0.0, 0.9)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_sets_match_topology_queries() {
+        for model in [robots::hyq(), robots::atlas(), robots::random_tree(9, 3)] {
+            let ws = DynamicsWorkspace::new(&model);
+            let topo = model.topology();
+            for i in 0..model.num_bodies() {
+                // Chain = dofs of ancestors + self, ascending.
+                let mut expect: Vec<usize> = Vec::new();
+                for b in 0..model.num_bodies() {
+                    if topo.is_ancestor_or_self(b, i) {
+                        let vo = model.v_offset(b);
+                        expect.extend(vo..vo + model.joint(b).jtype.nv());
+                    }
+                }
+                expect.sort_unstable();
+                assert_eq!(ws.chain(i), &expect[..], "chain of body {i}");
+
+                // Descendants = treee(i) dofs.
+                let mut expect_d: Vec<usize> = Vec::new();
+                for b in topo.subtree_excl(i) {
+                    let vo = model.v_offset(b);
+                    expect_d.extend(vo..vo + model.joint(b).jtype.nv());
+                }
+                expect_d.sort_unstable();
+                assert_eq!(ws.desc(i), &expect_d[..], "desc of body {i}");
+
+                // Related = union, sorted.
+                let mut expect_r = [ws.chain(i), ws.desc(i)].concat();
+                expect_r.sort_unstable();
+                assert_eq!(ws.rel(i), &expect_r[..], "rel of body {i}");
+            }
+        }
     }
 }

@@ -1,0 +1,189 @@
+//! Proves the `*_into` kernels perform zero steady-state heap
+//! allocation: a counting global allocator watches every alloc while the
+//! hot paths run against reused workspaces/outputs.
+//!
+//! Kept as a single `#[test]` so no concurrently running test can
+//! pollute the process-global counter.
+
+use rbd_dynamics::{
+    bias_force_in_ws, crba_into, fd_derivatives_into, fd_derivatives_with_minv_into,
+    forward_dynamics_into, mminv_gen_into, rnea_derivatives_into, rnea_in_ws, BatchEval,
+    DynamicsWorkspace, FdDerivatives, RneaDerivatives, SamplePoint,
+};
+use rbd_model::{random_state, robots};
+use rbd_spatial::MatN;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many allocator calls it made.
+fn alloc_count(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_kernels_do_not_allocate() {
+    for model in [robots::iiwa(), robots::hyq(), robots::atlas()] {
+        let mut ws = DynamicsWorkspace::new(&model);
+        let nv = model.nv();
+        let s = random_state(&model, 7);
+        let qdd: Vec<f64> = (0..nv).map(|k| 0.3 - 0.05 * k as f64).collect();
+        let tau: Vec<f64> = (0..nv).map(|k| 0.2 * k as f64 - 0.6).collect();
+        let mut qdd_out = vec![0.0; nv];
+        let mut m = MatN::zeros(nv, nv);
+        let mut minv = MatN::zeros(nv, nv);
+        let mut did = RneaDerivatives::zeros(nv);
+        let mut dfd = FdDerivatives::zeros(nv);
+        let mut dfd2 = FdDerivatives::zeros(nv);
+
+        // Warm-up: first calls may size output buffers.
+        rnea_in_ws(&model, &mut ws, &s.q, &s.qd, &qdd, None, 1.0);
+        bias_force_in_ws(&model, &mut ws, &s.q, &s.qd, None);
+        crba_into(&model, &mut ws, &s.q, &mut m);
+        mminv_gen_into(&model, &mut ws, &s.q, Some(&mut m), Some(&mut minv)).unwrap();
+        forward_dynamics_into(&model, &mut ws, &s.q, &s.qd, &tau, None, &mut qdd_out).unwrap();
+        rnea_derivatives_into(&model, &mut ws, &s.q, &s.qd, &qdd, None, &mut did);
+        fd_derivatives_into(&model, &mut ws, &s.q, &s.qd, &tau, None, &mut dfd).unwrap();
+        fd_derivatives_with_minv_into(&model, &mut ws, &s.q, &s.qd, &qdd, &minv, None, &mut dfd2);
+
+        // Steady state: every hot-path kernel must be allocation-free.
+        let checks: [(&str, u64); 8] = [
+            (
+                "rnea_in_ws",
+                alloc_count(|| rnea_in_ws(&model, &mut ws, &s.q, &s.qd, &qdd, None, 1.0)),
+            ),
+            (
+                "bias_force_in_ws",
+                alloc_count(|| bias_force_in_ws(&model, &mut ws, &s.q, &s.qd, None)),
+            ),
+            (
+                "crba_into",
+                alloc_count(|| crba_into(&model, &mut ws, &s.q, &mut m)),
+            ),
+            (
+                "mminv_gen_into",
+                alloc_count(|| {
+                    mminv_gen_into(&model, &mut ws, &s.q, Some(&mut m), Some(&mut minv)).unwrap()
+                }),
+            ),
+            (
+                "forward_dynamics_into",
+                alloc_count(|| {
+                    forward_dynamics_into(&model, &mut ws, &s.q, &s.qd, &tau, None, &mut qdd_out)
+                        .unwrap()
+                }),
+            ),
+            (
+                "rnea_derivatives_into",
+                alloc_count(|| {
+                    rnea_derivatives_into(&model, &mut ws, &s.q, &s.qd, &qdd, None, &mut did)
+                }),
+            ),
+            (
+                "fd_derivatives_into",
+                alloc_count(|| {
+                    fd_derivatives_into(&model, &mut ws, &s.q, &s.qd, &tau, None, &mut dfd).unwrap()
+                }),
+            ),
+            (
+                "fd_derivatives_with_minv_into",
+                alloc_count(|| {
+                    fd_derivatives_with_minv_into(
+                        &model, &mut ws, &s.q, &s.qd, &qdd, &minv, None, &mut dfd2,
+                    )
+                }),
+            ),
+        ];
+        for (name, count) in checks {
+            assert_eq!(
+                count,
+                0,
+                "{name} allocated {count} time(s) in steady state on {}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_worker_batch_does_not_allocate_in_steady_state() {
+    let model = robots::hyq();
+    let nv = model.nv();
+    let tau: Vec<f64> = (0..nv).map(|k| 0.1 * k as f64).collect();
+    let points: Vec<SamplePoint> = (0..6)
+        .map(|i| {
+            let s = random_state(&model, i);
+            (s.q, s.qd, tau.clone())
+        })
+        .collect();
+    let mut outs = vec![FdDerivatives::zeros(nv); points.len()];
+    let mut batch = BatchEval::with_threads(&model, 1);
+
+    // Warm-up sizes everything.
+    batch.fd_derivatives_batch(&points, &mut outs).unwrap();
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    batch.fd_derivatives_batch(&points, &mut outs).unwrap();
+    let count = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(count, 0, "single-worker batch allocated {count} time(s)");
+}
+
+#[test]
+fn batch_in_place_ldlt_does_not_allocate() {
+    // The MatN in-place factorization/product kit used by the Riccati
+    // backward pass.
+    let n = 12;
+    let a = MatN::from_fn(n, n, |i, j| {
+        if i == j {
+            20.0
+        } else {
+            1.0 / (1.0 + (i + j) as f64)
+        }
+    });
+    let mut l = MatN::zeros(n, n);
+    let mut d = rbd_spatial::VecN::zeros(n);
+    let mut inv = MatN::zeros(n, n);
+    let mut out = MatN::zeros(n, n);
+    let b = MatN::from_fn(n, n, |i, j| (i * 3 + j) as f64 * 0.1 - 1.0);
+    let v = rbd_spatial::VecN::from_vec((0..n).map(|i| i as f64 * 0.5 - 2.0).collect());
+    let mut x = rbd_spatial::VecN::zeros(n);
+
+    let count = alloc_count(|| {
+        a.ldlt_into(&mut l, &mut d).unwrap();
+        a.inverse_spd_into(&mut inv, &mut l, &mut d).unwrap();
+        a.solve_into(&v, &mut x, &mut l, &mut d).unwrap();
+        a.mul_mat_into(&b, &mut out);
+        a.mul_vec_into(&v, &mut x);
+        a.transpose_into(&mut out);
+    });
+    assert_eq!(count, 0, "in-place MatN kit allocated {count} time(s)");
+}

@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn quantization_error_bounded() {
-        let xs = [0.1, -0.7, 3.14159, 1e3, -2e-5];
+        let xs = [0.1, -0.7, std::f64::consts::PI, 1e3, -2e-5];
         for &x in &xs {
             let e = (Q32::from_f64(x).to_f64() - x).abs();
             assert!(e <= Q32::epsilon(), "error {e}");
@@ -256,7 +256,17 @@ mod tests {
 
     #[test]
     fn fast_reciprocal_accuracy() {
-        for x in [1.0, 2.0, 0.5, 3.14159, 1e-6, 1e6, -7.25, -0.001, 123456.789] {
+        for x in [
+            1.0,
+            2.0,
+            0.5,
+            std::f64::consts::PI,
+            1e-6,
+            1e6,
+            -7.25,
+            -0.001,
+            123456.789,
+        ] {
             let r = fast_reciprocal(x);
             let rel = (r - 1.0 / x).abs() * x.abs();
             assert!(rel < 1e-12, "x={x}: rel error {rel}");

@@ -70,8 +70,7 @@ mod tests {
     #[test]
     fn matches_std_over_two_pi() {
         for i in 0..1000 {
-            let x = -2.0 * std::f64::consts::PI
-                + 4.0 * std::f64::consts::PI * i as f64 / 999.0;
+            let x = -2.0 * std::f64::consts::PI + 4.0 * std::f64::consts::PI * i as f64 / 999.0;
             let (s, c) = sin_cos(x);
             assert!((s - x.sin()).abs() < 1e-11, "sin({x})");
             assert!((c - x.cos()).abs() < 1e-11, "cos({x})");

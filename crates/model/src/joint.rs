@@ -332,7 +332,11 @@ mod tests {
         let jt = JointType::Floating;
         let mut q = jt.neutral();
         // Rotate 90° about z, then move along body x — should end up at +y.
-        jt.integrate(&mut q, &[0.0, 0.0, std::f64::consts::FRAC_PI_2, 0.0, 0.0, 0.0], 1.0);
+        jt.integrate(
+            &mut q,
+            &[0.0, 0.0, std::f64::consts::FRAC_PI_2, 0.0, 0.0, 0.0],
+            1.0,
+        );
         jt.integrate(&mut q, &[0.0, 0.0, 0.0, 1.0, 0.0, 0.0], 1.0);
         assert!(q[0].abs() < 1e-12);
         assert!((q[1] - 1.0).abs() < 1e-12);

@@ -40,13 +40,7 @@ pub fn iiwa() -> RobotModel {
 
 /// Adds one 3-joint leg (hip abduction/adduction, hip flexion, knee) to a
 /// quadruped body. Returns the foot body id.
-fn add_leg(
-    b: &mut ModelBuilder,
-    body: usize,
-    prefix: &str,
-    attach: Vec3,
-    mirror: f64,
-) -> usize {
+fn add_leg(b: &mut ModelBuilder, body: usize, prefix: &str, attach: Vec3, mirror: f64) -> usize {
     let upper = 0.35;
     let lower = 0.33;
     let haa = b.add_body(
@@ -97,7 +91,13 @@ fn add_arm(b: &mut ModelBuilder, mut parent: usize, prefix: &str, attach: Vec3, 
             lens[k],
             Vec3::new(0.0, 0.0, lens[k] * 0.5),
         );
-        parent = b.add_body(format!("{prefix}{}", k + 1), Some(parent), axes[k], placement, inertia);
+        parent = b.add_body(
+            format!("{prefix}{}", k + 1),
+            Some(parent),
+            axes[k],
+            placement,
+            inertia,
+        );
     }
     parent
 }
@@ -321,8 +321,20 @@ pub fn hexapod() -> RobotModel {
     );
     let ys: [f64; 3] = [0.18, 0.0, -0.18];
     for (k, &y) in ys.iter().enumerate() {
-        add_leg(&mut b, body, &format!("l{k}"), Vec3::new(0.3, y.abs() + 0.15, 0.0), 1.0);
-        add_leg(&mut b, body, &format!("r{k}"), Vec3::new(0.3 - 0.3 * k as f64, -(y.abs() + 0.15), 0.0), -1.0);
+        add_leg(
+            &mut b,
+            body,
+            &format!("l{k}"),
+            Vec3::new(0.3, y.abs() + 0.15, 0.0),
+            1.0,
+        );
+        add_leg(
+            &mut b,
+            body,
+            &format!("r{k}"),
+            Vec3::new(0.3 - 0.3 * k as f64, -(y.abs() + 0.15), 0.0),
+            -1.0,
+        );
     }
     b.build()
 }

@@ -323,8 +323,9 @@ mod tests {
     #[test]
     fn reroot_preserves_connectivity_and_reduces_depth() {
         // A pure chain 0-…-8: rerooting at the midpoint halves the depth.
-        let parents: Vec<Option<usize>> =
-            (0..9).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..9)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         let t = Topology::from_parents(&parents).unwrap();
         assert_eq!(t.max_depth(), 9);
         let (r, map) = t.reroot(4);

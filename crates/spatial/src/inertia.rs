@@ -172,7 +172,11 @@ impl AddAssign for SpatialInertia {
 
 impl fmt::Display for SpatialInertia {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SpatialInertia(m={:.4}, h={}, Ī={})", self.mass, self.h, self.i_bar)
+        write!(
+            f,
+            "SpatialInertia(m={:.4}, h={}, Ī={})",
+            self.mass, self.h, self.i_bar
+        )
     }
 }
 

@@ -53,11 +53,7 @@ impl Mat3 {
     /// Skew-symmetric cross-product matrix `v×` such that `(v×) w = v.cross(w)`.
     #[inline]
     pub fn skew(v: Vec3) -> Self {
-        Self::from_rows([
-            [0.0, -v.z, v.y],
-            [v.z, 0.0, -v.x],
-            [-v.y, v.x, 0.0],
-        ])
+        Self::from_rows([[0.0, -v.z, v.y], [v.z, 0.0, -v.x], [-v.y, v.x, 0.0]])
     }
 
     /// Active rotation about the X axis by `theta` (radians): `R_x(θ) v`
@@ -142,9 +138,21 @@ impl Mat3 {
             m[r1][c1] * m[r2][c2] - m[r1][c2] * m[r2][c1]
         };
         Self::from_rows([
-            [inv(1, 1, 2, 2) / d, -inv(0, 1, 2, 2) / d, inv(0, 1, 1, 2) / d],
-            [-inv(1, 0, 2, 2) / d, inv(0, 0, 2, 2) / d, -inv(0, 0, 1, 2) / d],
-            [inv(1, 0, 2, 1) / d, -inv(0, 0, 2, 1) / d, inv(0, 0, 1, 1) / d],
+            [
+                inv(1, 1, 2, 2) / d,
+                -inv(0, 1, 2, 2) / d,
+                inv(0, 1, 1, 2) / d,
+            ],
+            [
+                -inv(1, 0, 2, 2) / d,
+                inv(0, 0, 2, 2) / d,
+                -inv(0, 0, 1, 2) / d,
+            ],
+            [
+                inv(1, 0, 2, 1) / d,
+                -inv(0, 0, 2, 1) / d,
+                inv(0, 0, 1, 1) / d,
+            ],
         ])
     }
 

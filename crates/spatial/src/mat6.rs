@@ -267,9 +267,8 @@ mod tests {
         s.m[0][3] = 0.5;
         s.m[3][0] = 0.5;
         s.m[1][1] = 4.0;
-        let x = Mat6::from_xform_motion(
-            &Xform::rot_z(1.2).with_translation(Vec3::new(0.0, 1.0, 0.5)),
-        );
+        let x =
+            Mat6::from_xform_motion(&Xform::rot_z(1.2).with_translation(Vec3::new(0.0, 1.0, 0.5)));
         let t = s.congruence(&x);
         assert!(t.is_symmetric(1e-12));
     }
@@ -287,9 +286,8 @@ mod tests {
 
     #[test]
     fn mul_associates_with_identity() {
-        let x = Mat6::from_xform_motion(
-            &Xform::rot_x(0.3).with_translation(Vec3::new(1.0, 2.0, 3.0)),
-        );
+        let x =
+            Mat6::from_xform_motion(&Xform::rot_x(0.3).with_translation(Vec3::new(1.0, 2.0, 3.0)));
         let p = x * Mat6::identity();
         assert!((p - x).max_abs() < 1e-15);
     }

@@ -20,9 +20,7 @@ pub struct VecN {
 impl VecN {
     /// Zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        Self {
-            data: vec![0.0; n],
-        }
+        Self { data: vec![0.0; n] }
     }
 
     /// Wraps an existing `Vec<f64>`.
@@ -67,6 +65,33 @@ impl VecN {
     /// Largest absolute entry (0 for the empty vector).
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Sets every entry to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Copies `other` into `self`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn copy_from(&mut self, other: &VecN) {
+        assert_eq!(self.len(), other.len(), "VecN::copy_from length mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Grows or shrinks to length `n` (new entries zero). A no-op when the
+    /// length already matches, so steady-state reuse never reallocates.
+    pub fn resize(&mut self, n: usize) {
+        self.data.resize(n, 0.0);
+    }
+
+    /// Multiplies every entry by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
     }
 }
 
@@ -234,6 +259,109 @@ impl MatN {
         out
     }
 
+    /// Sets every entry to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Copies `other` into `self`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &MatN) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "MatN::copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Reshapes to `rows × cols`, zero-filled. A no-op (beyond the
+    /// zeroing-free reuse of the existing buffer) when the shape already
+    /// matches, so steady-state reuse never reallocates.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        if (self.rows, self.cols) != (rows, cols) {
+            self.rows = rows;
+            self.cols = cols;
+            self.data.clear();
+            self.data.resize(rows * cols, 0.0);
+        }
+    }
+
+    /// Multiplies every entry by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Matrix-vector product written into `out` (no allocation).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn mul_vec_into(&self, v: &VecN, out: &mut VecN) {
+        self.mul_slice_into(v.as_slice(), out.as_mut_slice());
+    }
+
+    /// Matrix-vector product over plain slices (no allocation).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn mul_slice_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(self.cols, v.len(), "MatN::mul_slice_into shape mismatch");
+        assert_eq!(self.rows, out.len(), "MatN::mul_slice_into output length");
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Matrix-matrix product written into `out` (no allocation), using the
+    /// cache-friendly i-k-j loop order over the row-major storage.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch (`out` must be `self.rows × b.cols`).
+    pub fn mul_mat_into(&self, b: &MatN, out: &mut MatN) {
+        assert_eq!(self.cols, b.rows, "MatN::mul_mat_into shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, b.cols),
+            "MatN::mul_mat_into output shape"
+        );
+        out.data.fill(0.0);
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[k * b.cols..(k + 1) * b.cols];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        }
+    }
+
+    /// Transpose written into `out` (no allocation).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch (`out` must be `self.cols × self.rows`).
+    pub fn transpose_into(&self, out: &mut MatN) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "MatN::transpose_into output shape"
+        );
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * out.cols + i] = self.data[i * self.cols + j];
+            }
+        }
+    }
+
     /// Maximum absolute entry.
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
@@ -274,10 +402,30 @@ impl MatN {
     /// Returns `Err` if a pivot underflows (matrix not positive definite
     /// enough for a stable unpivoted factorization).
     pub fn ldlt(&self) -> Result<(MatN, VecN), FactorizationError> {
+        let mut l = MatN::zeros(self.rows, self.cols);
+        let mut d = VecN::zeros(self.rows);
+        self.ldlt_into(&mut l, &mut d)?;
+        Ok((l, d))
+    }
+
+    /// [`MatN::ldlt`] writing the factors into caller-provided storage (no
+    /// allocation). `l` and `d` are fully overwritten.
+    ///
+    /// # Errors
+    /// Returns `Err` if a pivot underflows.
+    ///
+    /// # Panics
+    /// Panics unless `self`, `l` are square of the same size and `d`
+    /// matches.
+    pub fn ldlt_into(&self, l: &mut MatN, d: &mut VecN) -> Result<(), FactorizationError> {
         assert_eq!(self.rows, self.cols, "ldlt needs a square matrix");
         let n = self.rows;
-        let mut l = MatN::identity(n);
-        let mut d = VecN::zeros(n);
+        assert_eq!((l.rows, l.cols), (n, n), "ldlt_into L shape");
+        assert_eq!(d.len(), n, "ldlt_into d length");
+        l.data.fill(0.0);
+        for i in 0..n {
+            l[(i, i)] = 1.0;
+        }
         for j in 0..n {
             let mut dj = self[(j, j)];
             for k in 0..j {
@@ -295,7 +443,7 @@ impl MatN {
                 l[(i, j)] = s / dj;
             }
         }
-        Ok((l, d))
+        Ok(())
     }
 
     /// Cholesky factorization `self = G Gᵀ` of a symmetric positive-definite
@@ -329,33 +477,105 @@ impl MatN {
         Ok(ldlt_solve(&l, &d, b))
     }
 
+    /// Solves `self · x = b` into caller-provided storage (no allocation).
+    /// `l` and `d` receive the LDLᵀ factors as a side effect.
+    ///
+    /// # Errors
+    /// Propagates factorization failure.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn solve_into(
+        &self,
+        b: &VecN,
+        x: &mut VecN,
+        l: &mut MatN,
+        d: &mut VecN,
+    ) -> Result<(), FactorizationError> {
+        self.ldlt_into(l, d)?;
+        x.copy_from(b);
+        ldlt_solve_in_place(l, d, x.as_mut_slice());
+        Ok(())
+    }
+
     /// Inverse of a symmetric positive-definite matrix via LDLᵀ.
     ///
     /// # Errors
     /// Propagates factorization failure.
     pub fn inverse_spd(&self) -> Result<MatN, FactorizationError> {
-        let (l, d) = self.ldlt()?;
+        let mut inv = MatN::zeros(self.rows, self.cols);
+        let mut l = MatN::zeros(self.rows, self.cols);
+        let mut d = VecN::zeros(self.rows);
+        self.inverse_spd_into(&mut inv, &mut l, &mut d)?;
+        Ok(inv)
+    }
+
+    /// [`MatN::inverse_spd`] into caller-provided storage (no allocation).
+    /// `l` and `d` are factorization scratch, fully overwritten.
+    ///
+    /// # Errors
+    /// Propagates factorization failure.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn inverse_spd_into(
+        &self,
+        out: &mut MatN,
+        l: &mut MatN,
+        d: &mut VecN,
+    ) -> Result<(), FactorizationError> {
         let n = self.rows;
-        let mut inv = MatN::zeros(n, n);
+        assert_eq!((out.rows, out.cols), (n, n), "inverse_spd_into out shape");
+        self.ldlt_into(l, d)?;
+        // Solve L D Lᵀ x = e_j column by column, working directly on the
+        // (row-major, hence strided) columns of `out`.
+        out.data.fill(0.0);
         for j in 0..n {
-            let mut e = VecN::zeros(n);
-            e[j] = 1.0;
-            let x = ldlt_solve(&l, &d, &e);
-            for i in 0..n {
-                inv[(i, j)] = x[i];
+            out.data[j * n + j] = 1.0;
+            // Forward: L y = e_j (rows < j stay zero).
+            for i in (j + 1)..n {
+                let mut s = out.data[i * n + j];
+                for k in j..i {
+                    s -= l.data[i * n + k] * out.data[k * n + j];
+                }
+                out.data[i * n + j] = s;
+            }
+            // Diagonal.
+            for i in j..n {
+                out.data[i * n + j] /= d[i];
+            }
+            // Backward: Lᵀ z = y.
+            for i in (0..n).rev() {
+                let mut s = out.data[i * n + j];
+                for k in (i + 1)..n {
+                    s -= l.data[k * n + i] * out.data[k * n + j];
+                }
+                out.data[i * n + j] = s;
             }
         }
-        Ok(inv)
+        Ok(())
     }
 }
 
 /// Solves `L D Lᵀ x = b` given the factors.
 pub fn ldlt_solve(l: &MatN, d: &VecN, b: &VecN) -> VecN {
+    let mut x = b.clone();
+    ldlt_solve_in_place(l, d, x.as_mut_slice());
+    x
+}
+
+/// Solves `L D Lᵀ x = b` in place: `x` holds `b` on entry and the
+/// solution on exit (no allocation).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn ldlt_solve_in_place(l: &MatN, d: &VecN, x: &mut [f64]) {
     let n = d.len();
-    let mut x = VecN::zeros(n);
+    assert_eq!((l.rows, l.cols), (n, n), "ldlt_solve_in_place L shape");
+    assert_eq!(x.len(), n, "ldlt_solve_in_place x length");
     // Forward: L y = b
     for i in 0..n {
-        let mut s = b[i];
+        let mut s = x[i];
         for k in 0..i {
             s -= l[(i, k)] * x[k];
         }
@@ -373,7 +593,6 @@ pub fn ldlt_solve(l: &MatN, d: &VecN, b: &VecN) -> VecN {
         }
         x[i] = s;
     }
-    x
 }
 
 /// Error returned when a factorization cannot proceed.
@@ -445,6 +664,15 @@ impl Add for &MatN {
     }
 }
 
+impl AddAssign<&MatN> for MatN {
+    fn add_assign(&mut self, r: &MatN) {
+        assert_eq!((self.rows, self.cols), (r.rows, r.cols));
+        for (a, b) in self.data.iter_mut().zip(&r.data) {
+            *a += b;
+        }
+    }
+}
+
 impl fmt::Display for MatN {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in 0..self.rows {
@@ -467,7 +695,9 @@ mod tests {
 
     fn spd(n: usize) -> MatN {
         // A = B Bᵀ + n·I is symmetric positive definite.
-        let b = MatN::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0 + 0.1 * i as f64);
+        let b = MatN::from_fn(n, n, |i, j| {
+            ((i * 7 + j * 3) % 5) as f64 - 2.0 + 0.1 * i as f64
+        });
         let mut a = b.mul_mat(&b.transpose());
         for i in 0..n {
             a[(i, i)] += n as f64;

@@ -59,8 +59,7 @@ macro_rules! impl_spatial_common {
             /// Returns the six coordinates, angular first.
             pub fn to_array(&self) -> [f64; 6] {
                 [
-                    self.ang.x, self.ang.y, self.ang.z, self.lin.x, self.lin.y,
-                    self.lin.z,
+                    self.ang.x, self.ang.y, self.ang.z, self.lin.x, self.lin.y, self.lin.z,
                 ]
             }
 

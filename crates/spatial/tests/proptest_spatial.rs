@@ -32,15 +32,16 @@ fn force() -> impl Strategy<Value = ForceVec> {
 }
 
 fn inertia() -> impl Strategy<Value = SpatialInertia> {
-    (0.1f64..10.0, vec3(), 0.01f64..0.5, 0.01f64..0.5, 0.01f64..0.5).prop_map(
-        |(m, c, ix, iy, iz)| {
-            SpatialInertia::from_mass_com_inertia(
-                m,
-                c * 0.2,
-                Mat3::diagonal(Vec3::new(ix, iy, iz)),
-            )
-        },
+    (
+        0.1f64..10.0,
+        vec3(),
+        0.01f64..0.5,
+        0.01f64..0.5,
+        0.01f64..0.5,
     )
+        .prop_map(|(m, c, ix, iy, iz)| {
+            SpatialInertia::from_mass_com_inertia(m, c * 0.2, Mat3::diagonal(Vec3::new(ix, iy, iz)))
+        })
 }
 
 proptest! {

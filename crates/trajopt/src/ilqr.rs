@@ -5,7 +5,7 @@
 //! covers the fixed-base arms the optimizer examples use.
 
 use crate::integrator::{rk4_step, rk4_step_with_sensitivity, StepJacobians};
-use rbd_dynamics::DynamicsWorkspace;
+use rbd_dynamics::{BatchEval, DynamicsWorkspace};
 use rbd_model::RobotModel;
 use rbd_spatial::{MatN, VecN};
 use std::time::Instant;
@@ -69,12 +69,93 @@ pub struct IlqrResult {
     pub rollout_time_s: f64,
 }
 
+/// Per-solver reusable state: the rollout workspace, the batch worker
+/// pool and every Riccati scratch buffer — allocated once in
+/// [`Ilqr::new`] and reused by every [`Ilqr::solve`] call, so a
+/// receding-horizon MPC loop re-solving each tick performs no repeated
+/// setup allocation.
+#[derive(Debug)]
+struct IlqrScratch<'m> {
+    ws: DynamicsWorkspace,
+    batch: BatchEval<'m>,
+    vx: VecN,
+    vxx: MatN,
+    at: MatN,
+    bt: MatN,
+    vxx_a: MatN,
+    vxx_b: MatN,
+    qx: VecN,
+    qu: VecN,
+    qxx: MatN,
+    quu: MatN,
+    qux: MatN,
+    qux_t: MatN,
+    quu_inv: MatN,
+    l_s: MatN,
+    d_s: VecN,
+    kbt: MatN,
+    tmp_nv: VecN,
+    tmp_nx: VecN,
+    tmp_nv_nx: MatN,
+    tmp_nx_nx: MatN,
+    cross: MatN,
+    k_ff: Vec<VecN>,
+    k_fb: Vec<MatN>,
+    steps: Vec<usize>,
+}
+
+impl<'m> IlqrScratch<'m> {
+    fn new(model: &'m RobotModel, horizon: usize) -> Self {
+        let nv = model.nv();
+        let nx = 2 * nv;
+        // For very small models a per-point ΔFD is only a few µs, so
+        // OS-thread spawn/join per LQ pass would cost more than the
+        // serial loop it replaces — stay serial below ~4 DOF.
+        let workers = if nv >= 4 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        Self {
+            ws: DynamicsWorkspace::new(model),
+            batch: BatchEval::with_threads(model, workers),
+            vx: VecN::zeros(nx),
+            vxx: MatN::zeros(nx, nx),
+            at: MatN::zeros(nx, nx),
+            bt: MatN::zeros(nv, nx),
+            vxx_a: MatN::zeros(nx, nx),
+            vxx_b: MatN::zeros(nx, nv),
+            qx: VecN::zeros(nx),
+            qu: VecN::zeros(nv),
+            qxx: MatN::zeros(nx, nx),
+            quu: MatN::zeros(nv, nv),
+            qux: MatN::zeros(nv, nx),
+            qux_t: MatN::zeros(nx, nv),
+            quu_inv: MatN::zeros(nv, nv),
+            l_s: MatN::zeros(nv, nv),
+            d_s: VecN::zeros(nv),
+            kbt: MatN::zeros(nx, nv),
+            tmp_nv: VecN::zeros(nv),
+            tmp_nx: VecN::zeros(nx),
+            tmp_nv_nx: MatN::zeros(nv, nx),
+            tmp_nx_nx: MatN::zeros(nx, nx),
+            cross: MatN::zeros(nx, nx),
+            k_ff: (0..horizon).map(|_| VecN::zeros(nv)).collect(),
+            k_fb: (0..horizon).map(|_| MatN::zeros(nv, nx)).collect(),
+            steps: (0..horizon).collect(),
+        }
+    }
+}
+
 /// The optimizer.
 #[derive(Debug)]
 pub struct Ilqr<'m> {
     model: &'m RobotModel,
     options: IlqrOptions,
     goal: Vec<f64>,
+    scratch: IlqrScratch<'m>,
 }
 
 impl<'m> Ilqr<'m> {
@@ -93,162 +174,167 @@ impl<'m> Ilqr<'m> {
             model,
             options,
             goal: q_goal,
+            scratch: IlqrScratch::new(model, options.horizon),
         }
-    }
-
-    fn cost(&self, traj: &[(Vec<f64>, Vec<f64>)], us: &[Vec<f64>]) -> f64 {
-        let o = &self.options;
-        let nv = self.model.nv();
-        let mut c = 0.0;
-        for (k, u) in us.iter().enumerate() {
-            let (q, qd) = &traj[k];
-            for i in 0..nv {
-                let e = q[i] - self.goal[i];
-                c += 0.5 * o.w_q * e * e + 0.5 * o.w_v * qd[i] * qd[i] + 0.5 * o.w_u * u[i] * u[i];
-            }
-        }
-        let (qn, qdn) = traj.last().unwrap();
-        for i in 0..nv {
-            let e = qn[i] - self.goal[i];
-            c += 0.5 * o.w_terminal * (e * e + qdn[i] * qdn[i]);
-        }
-        c
-    }
-
-    fn rollout(
-        &self,
-        ws: &mut DynamicsWorkspace,
-        q0: &[f64],
-        qd0: &[f64],
-        us: &[Vec<f64>],
-    ) -> Vec<(Vec<f64>, Vec<f64>)> {
-        let mut traj = vec![(q0.to_vec(), qd0.to_vec())];
-        for u in us {
-            let (q, qd) = traj.last().unwrap();
-            let next = rk4_step(self.model, ws, q, qd, u, self.options.dt);
-            traj.push(next);
-        }
-        traj
     }
 
     /// Runs the optimizer from `(q0, qd0)` with zero initial controls.
     ///
+    /// The LQ approximation fans out across worker threads through
+    /// [`BatchEval`] (the sampling points are independent, Fig 2c/13);
+    /// the backward Riccati pass runs serially on scratch preallocated in
+    /// [`Ilqr::new`] — zero heap allocation per step, and no repeated
+    /// setup allocation across the solves of a receding-horizon loop.
+    ///
     /// # Panics
     /// Panics if forward dynamics fails along the way.
-    pub fn solve(&self, q0: &[f64], qd0: &[f64]) -> IlqrResult {
-        let o = self.options;
-        let nv = self.model.nv();
+    pub fn solve(&mut self, q0: &[f64], qd0: &[f64]) -> IlqrResult {
+        let Self {
+            model,
+            options,
+            goal,
+            scratch,
+        } = self;
+        let model: &RobotModel = model;
+        let o = *options;
+        let goal: &[f64] = goal;
+        let nv = model.nv();
         let nx = 2 * nv;
-        let mut ws = DynamicsWorkspace::new(self.model);
+        let IlqrScratch {
+            ws,
+            batch,
+            vx,
+            vxx,
+            at,
+            bt,
+            vxx_a,
+            vxx_b,
+            qx,
+            qu,
+            qxx,
+            quu,
+            qux,
+            qux_t,
+            quu_inv,
+            l_s,
+            d_s,
+            kbt,
+            tmp_nv,
+            tmp_nx,
+            tmp_nv_nx,
+            tmp_nx_nx,
+            cross,
+            k_ff,
+            k_fb,
+            steps,
+        } = scratch;
         let mut us = vec![vec![0.0; nv]; o.horizon];
         let (mut lq_t, mut solver_t, mut rollout_t) = (0.0, 0.0, 0.0);
 
         let t0 = Instant::now();
-        let mut traj = self.rollout(&mut ws, q0, qd0, &us);
+        let mut traj = rollout_traj(model, o.dt, ws, q0, qd0, &us);
         rollout_t += t0.elapsed().as_secs_f64();
-        let mut cost = self.cost(&traj, &us);
+        let mut cost = stage_cost(&o, goal, nv, &traj, &us);
         let mut history = vec![cost];
         let mut converged = false;
 
         for _ in 0..o.max_iters {
-            // ---- LQ approximation (batched, parallelizable; Fig 2c).
+            // ---- LQ approximation (batched across sampling points,
+            //      one workspace per worker; Fig 2c).
             let t = Instant::now();
-            let mut jacs: Vec<StepJacobians> = Vec::with_capacity(o.horizon);
-            for k in 0..o.horizon {
-                let (q, qd) = &traj[k];
-                let (_, _, j) =
-                    rk4_step_with_sensitivity(self.model, &mut ws, q, qd, &us[k], o.dt);
-                jacs.push(j);
-            }
+            let jacs: Vec<StepJacobians> = {
+                let traj_ref = &traj;
+                let us_ref = &us;
+                batch.map(steps, |model, ws, _, &k| {
+                    let (q, qd) = &traj_ref[k];
+                    let (_, _, j) = rk4_step_with_sensitivity(model, ws, q, qd, &us_ref[k], o.dt);
+                    j
+                })
+            };
             lq_t += t.elapsed().as_secs_f64();
 
-            // ---- Backward Riccati pass (serial).
+            // ---- Backward Riccati pass (serial, allocation-free).
             let t = Instant::now();
-            let mut vx = VecN::zeros(nx);
-            let mut vxx = MatN::zeros(nx, nx);
+            vx.fill(0.0);
+            vxx.fill(0.0);
             {
                 let (qn, qdn) = traj.last().unwrap();
                 for i in 0..nv {
-                    vx[i] = o.w_terminal * (qn[i] - self.goal[i]);
+                    vx[i] = o.w_terminal * (qn[i] - goal[i]);
                     vx[nv + i] = o.w_terminal * qdn[i];
                     vxx[(i, i)] = o.w_terminal;
                     vxx[(nv + i, nv + i)] = o.w_terminal;
                 }
             }
-            let mut k_ff: Vec<VecN> = Vec::with_capacity(o.horizon);
-            let mut k_fb: Vec<MatN> = Vec::with_capacity(o.horizon);
             let mut backward_ok = true;
             for k in (0..o.horizon).rev() {
                 let (q, qd) = &traj[k];
                 let u = &us[k];
-                let mut lx = VecN::zeros(nx);
-                let mut lxx = MatN::zeros(nx, nx);
-                for i in 0..nv {
-                    lx[i] = o.w_q * (q[i] - self.goal[i]);
-                    lx[nv + i] = o.w_v * qd[i];
-                    lxx[(i, i)] = o.w_q;
-                    lxx[(nv + i, nv + i)] = o.w_v;
-                }
                 let a = &jacs[k].a;
                 let b = &jacs[k].b;
-                let at = a.transpose();
-                let bt = b.transpose();
+                a.transpose_into(at);
+                b.transpose_into(bt);
 
-                let qx = &lx + &at.mul_vec(&vx);
-                let mut qu = bt.mul_vec(&vx);
+                // Q-function terms; the running-cost gradient/Hessian are
+                // (block-)diagonal, so they fold in as updates instead of
+                // materialized lx/lxx.
+                at.mul_vec_into(vx, qx);
+                bt.mul_vec_into(vx, qu);
                 for i in 0..nv {
+                    qx[i] += o.w_q * (q[i] - goal[i]);
+                    qx[nv + i] += o.w_v * qd[i];
                     qu[i] += o.w_u * u[i];
                 }
-                let vxx_a = vxx.mul_mat(a);
-                let qxx = &lxx + &at.mul_mat(&vxx_a);
-                let mut quu = bt.mul_mat(&vxx.mul_mat(b));
+                vxx.mul_mat_into(a, vxx_a);
+                at.mul_mat_into(vxx_a, qxx);
+                vxx.mul_mat_into(b, vxx_b);
+                bt.mul_mat_into(vxx_b, quu);
                 for i in 0..nv {
+                    qxx[(i, i)] += o.w_q;
+                    qxx[(nv + i, nv + i)] += o.w_v;
                     quu[(i, i)] += o.w_u + o.reg;
                 }
-                let qux = bt.mul_mat(&vxx_a);
+                bt.mul_mat_into(vxx_a, qux);
 
-                let quu_inv = match quu.inverse_spd() {
-                    Ok(m) => m,
-                    Err(_) => {
-                        backward_ok = false;
-                        break;
-                    }
-                };
-                let kf = &quu_inv.mul_vec(&qu) * -1.0;
-                let kb = {
-                    let mut m = quu_inv.mul_mat(&qux);
-                    for i in 0..nv {
-                        for j in 0..nx {
-                            m[(i, j)] = -m[(i, j)];
-                        }
-                    }
-                    m
-                };
+                if quu.inverse_spd_into(quu_inv, l_s, d_s).is_err() {
+                    backward_ok = false;
+                    break;
+                }
+                let kf = &mut k_ff[k];
+                quu_inv.mul_vec_into(qu, kf);
+                kf.scale(-1.0);
+                let kb = &mut k_fb[k];
+                quu_inv.mul_mat_into(qux, kb);
+                kb.scale(-1.0);
 
-                // Value update.
-                let kbt = kb.transpose();
-                let mut new_vx = &qx + &kbt.mul_vec(&qu);
-                let quu_k = quu.mul_vec(&kf);
-                new_vx += &kbt.mul_vec(&quu_k);
-                new_vx += &qux.transpose().mul_vec(&kf);
-                let mut new_vxx = &qxx + &kbt.mul_mat(&quu.mul_mat(&kb));
-                let cross = qux.transpose().mul_mat(&kb);
+                // Value update (into vx/vxx, which the Q terms no longer
+                // read at this point).
+                kb.transpose_into(kbt);
+                qux.transpose_into(qux_t);
+                kbt.mul_vec_into(qu, tmp_nx);
+                vx.copy_from(qx);
+                *vx += &*tmp_nx;
+                quu.mul_vec_into(&k_ff[k], tmp_nv);
+                kbt.mul_vec_into(tmp_nv, tmp_nx);
+                *vx += &*tmp_nx;
+                qux_t.mul_vec_into(&k_ff[k], tmp_nx);
+                *vx += &*tmp_nx;
+
+                quu.mul_mat_into(&k_fb[k], tmp_nv_nx);
+                kbt.mul_mat_into(tmp_nv_nx, tmp_nx_nx);
+                vxx.copy_from(qxx);
+                *vxx += &*tmp_nx_nx;
+                qux_t.mul_mat_into(&k_fb[k], cross);
                 for i in 0..nx {
                     for j in 0..nx {
-                        new_vxx[(i, j)] += cross[(i, j)] + cross[(j, i)];
+                        vxx[(i, j)] += cross[(i, j)] + cross[(j, i)];
                     }
                 }
-                vx = new_vx;
-                vxx = new_vxx;
-                k_ff.push(kf);
-                k_fb.push(kb);
             }
             solver_t += t.elapsed().as_secs_f64();
             if !backward_ok {
                 break;
             }
-            k_ff.reverse();
-            k_fb.reverse();
 
             // ---- Forward pass with line search.
             let t = Instant::now();
@@ -267,11 +353,11 @@ impl<'m> Ilqr<'m> {
                     let u: Vec<f64> = (0..nv)
                         .map(|i| us[k][i] + alpha * k_ff[k][i] + fb[i])
                         .collect();
-                    let next = rk4_step(self.model, &mut ws, &q, &qd, &u, o.dt);
+                    let next = rk4_step(model, ws, &q, &qd, &u, o.dt);
                     new_us.push(u);
                     new_traj.push(next);
                 }
-                let new_cost = self.cost(&new_traj, &new_us);
+                let new_cost = stage_cost(&o, goal, nv, &new_traj, &new_us);
                 if new_cost < cost {
                     let rel = (cost - new_cost) / cost.max(1e-12);
                     us = new_us;
@@ -304,6 +390,48 @@ impl<'m> Ilqr<'m> {
     }
 }
 
+/// Quadratic tracking cost of a trajectory/control sequence.
+fn stage_cost(
+    o: &IlqrOptions,
+    goal: &[f64],
+    nv: usize,
+    traj: &[(Vec<f64>, Vec<f64>)],
+    us: &[Vec<f64>],
+) -> f64 {
+    let mut c = 0.0;
+    for (k, u) in us.iter().enumerate() {
+        let (q, qd) = &traj[k];
+        for i in 0..nv {
+            let e = q[i] - goal[i];
+            c += 0.5 * o.w_q * e * e + 0.5 * o.w_v * qd[i] * qd[i] + 0.5 * o.w_u * u[i] * u[i];
+        }
+    }
+    let (qn, qdn) = traj.last().unwrap();
+    for i in 0..nv {
+        let e = qn[i] - goal[i];
+        c += 0.5 * o.w_terminal * (e * e + qdn[i] * qdn[i]);
+    }
+    c
+}
+
+/// RK4 rollout of a control sequence from `(q0, qd0)`.
+fn rollout_traj(
+    model: &RobotModel,
+    dt: f64,
+    ws: &mut DynamicsWorkspace,
+    q0: &[f64],
+    qd0: &[f64],
+    us: &[Vec<f64>],
+) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let mut traj = vec![(q0.to_vec(), qd0.to_vec())];
+    for u in us {
+        let (q, qd) = traj.last().unwrap();
+        let next = rk4_step(model, ws, q, qd, u, dt);
+        traj.push(next);
+    }
+    traj
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,7 +441,7 @@ mod tests {
     fn cost_decreases_monotonically() {
         let model = robots::serial_chain(2);
         let goal = vec![0.6, -0.4];
-        let ilqr = Ilqr::new(
+        let mut ilqr = Ilqr::new(
             &model,
             goal,
             IlqrOptions {
@@ -336,7 +464,7 @@ mod tests {
     fn reaches_goal_neighborhood() {
         let model = robots::serial_chain(2);
         let goal = vec![0.3, 0.2];
-        let ilqr = Ilqr::new(
+        let mut ilqr = Ilqr::new(
             &model,
             goal.clone(),
             IlqrOptions {
@@ -346,7 +474,7 @@ mod tests {
                 ..IlqrOptions::default()
             },
         );
-        let r = ilqr.solve(&vec![0.0; 2], &vec![0.0; 2]);
+        let r = ilqr.solve(&[0.0; 2], &[0.0; 2]);
         let (qn, _) = r.trajectory.last().unwrap();
         for i in 0..2 {
             assert!(
@@ -361,7 +489,7 @@ mod tests {
     #[test]
     fn timing_breakdown_populated() {
         let model = robots::serial_chain(2);
-        let ilqr = Ilqr::new(
+        let mut ilqr = Ilqr::new(
             &model,
             vec![0.1, 0.1],
             IlqrOptions {
@@ -370,7 +498,7 @@ mod tests {
                 ..IlqrOptions::default()
             },
         );
-        let r = ilqr.solve(&vec![0.0; 2], &vec![0.0; 2]);
+        let r = ilqr.solve(&[0.0; 2], &[0.0; 2]);
         assert!(r.lq_time_s > 0.0);
         assert!(r.solver_time_s > 0.0);
         assert!(r.rollout_time_s > 0.0);

@@ -5,7 +5,7 @@
 //! *serial* ΔFD calls, while steps at different sampling points are
 //! independent.
 
-use rbd_dynamics::{fd_derivatives, DynamicsWorkspace};
+use rbd_dynamics::{fd_derivatives_into, DynamicsWorkspace, FdDerivatives};
 use rbd_model::{integrate_config, RobotModel};
 use rbd_spatial::MatN;
 
@@ -130,9 +130,11 @@ pub fn rk4_step_with_sensitivity(
     let zero = MatN::zeros(nv, nv);
 
     // Stage evaluator: ΔFD at (q_i, qd_i) and chain rule through the
-    // stage state sensitivities (sq, sqd) = d(q_i, qd_i)/d(x,u).
+    // stage state sensitivities (sq, sqd) = d(q_i, qd_i)/d(x,u). One
+    // ΔFD output is reused across the four serial stages.
+    let mut d = FdDerivatives::zeros(nv);
     let mut stage = |q_i: &[f64], qd_i: &[f64], sq: &Sens, sqd: &Sens| -> (Vec<f64>, Sens, Sens) {
-        let d = fd_derivatives(model, ws, q_i, qd_i, tau, None).expect("ΔFD");
+        fd_derivatives_into(model, ws, q_i, qd_i, tau, None, &mut d).expect("ΔFD");
         // k_v = qd_i → sensitivity is sqd.
         // k_a = FD(q_i, qd_i, u) → dk_a/dz = Jq·sq + Jqd·sqd (+ Minv du).
         let chain = |m: &MatN, s: &MatN| m.mul_mat(s);
@@ -148,7 +150,7 @@ pub fn rk4_step_with_sensitivity(
             dqd: &chain(&d.dqdd_dq, &sq.dqd) + &chain(&d.dqdd_dqd, &sqd.dqd),
             du,
         };
-        (d.qdd, ka_sens, sqd.clone())
+        (d.qdd.clone(), ka_sens, sqd.clone())
     };
 
     // Identity sensitivities of the initial state.
@@ -193,14 +195,8 @@ pub fn rk4_step_with_sensitivity(
         .map(|i| qd[i] + h / 6.0 * (k1a[i] + 2.0 * k2a[i] + 2.0 * k3a[i] + k4a[i]))
         .collect();
 
-    let s_vbar = s_k1v
-        .axpy(2.0, &s_k2v)
-        .axpy(2.0, &s_k3v)
-        .axpy(1.0, &s_k4v);
-    let s_abar = s_k1a
-        .axpy(2.0, &s_k2a)
-        .axpy(2.0, &s_k3a)
-        .axpy(1.0, &s_k4a);
+    let s_vbar = s_k1v.axpy(2.0, &s_k2v).axpy(2.0, &s_k3v).axpy(1.0, &s_k4v);
+    let s_abar = s_k1a.axpy(2.0, &s_k2a).axpy(2.0, &s_k3a).axpy(1.0, &s_k4a);
     let s_q_new = s_q0.axpy(h / 6.0, &s_vbar);
     let s_qd_new = s_qd0.axpy(h / 6.0, &s_abar);
 

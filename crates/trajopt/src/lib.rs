@@ -13,13 +13,15 @@
 //!   for partially serial RK4 sensitivity chains.
 
 pub mod ilqr;
-pub mod mpc;
 pub mod integrator;
+pub mod mpc;
 pub mod scheduler;
 pub mod workload;
 
 pub use ilqr::{Ilqr, IlqrOptions, IlqrResult};
+pub use integrator::{
+    rk4_step, rk4_step_with_sensitivity, semi_implicit_euler_step, StepJacobians,
+};
 pub use mpc::{run_mpc, MpcRun};
-pub use integrator::{rk4_step, rk4_step_with_sensitivity, semi_implicit_euler_step, StepJacobians};
 pub use scheduler::{accel_makespan_cycles, cpu_makespan, ScheduleInputs};
-pub use workload::{profile_mpc_iteration, WorkloadProfile};
+pub use workload::{profile_mpc_iteration, profile_mpc_iteration_threaded, WorkloadProfile};

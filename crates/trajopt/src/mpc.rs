@@ -43,7 +43,7 @@ pub fn run_mpc(
     let mut states = vec![(q.clone(), qd.clone())];
     let mut controls = Vec::new();
 
-    let solver = Ilqr::new(model, q_goal.to_vec(), options);
+    let mut solver = Ilqr::new(model, q_goal.to_vec(), options);
     let start = Instant::now();
     for _ in 0..ticks {
         let sol = solver.solve(&q, &qd);
@@ -115,7 +115,7 @@ mod tests {
         };
 
         // Open loop: one solve, roll out its controls with a disturbance.
-        let solver = Ilqr::new(&model, goal.clone(), opts);
+        let mut solver = Ilqr::new(&model, goal.clone(), opts);
         let sol = solver.solve(&[0.0, 0.0], &[0.0, 0.0]);
         let mut ws = DynamicsWorkspace::new(&model);
         let (mut q, mut qd) = (vec![0.0, 0.0], vec![0.0, 0.0]);

@@ -1,9 +1,11 @@
 //! The profiled MPC workload of Fig 2: one model-predictive-control
 //! iteration decomposed into its task classes, with wall-clock
-//! measurement of each class on the host.
+//! measurement of each class on the host — serially and batched across
+//! worker threads through [`BatchEval`] (the Fig 13
+//! pipeline-vs-multithread comparison's software side).
 
 use crate::integrator::rk4_step_with_sensitivity;
-use rbd_dynamics::DynamicsWorkspace;
+use rbd_dynamics::{BatchEval, DynamicsWorkspace, FdDerivatives};
 use rbd_model::{random_state, RobotModel};
 use rbd_spatial::MatN;
 use std::time::Instant;
@@ -12,7 +14,7 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadProfile {
     /// LQ approximation: dynamics + derivatives at every sampling point
-    /// (parallelizable; contains `derivatives_s`).
+    /// (parallelizable; contains `derivatives_s`), evaluated serially.
     pub lq_approx_s: f64,
     /// The derivatives-of-dynamics share inside the LQ approximation
     /// (the paper highlights 23.61%).
@@ -21,12 +23,23 @@ pub struct WorkloadProfile {
     pub solver_s: f64,
     /// Everything else (rollout, cost bookkeeping).
     pub other_s: f64,
+    /// The LQ approximation evaluated through [`BatchEval`] across
+    /// `batch_threads` workers (equals the serial path for 1 worker, up
+    /// to scheduling overhead).
+    pub lq_batch_s: f64,
+    /// Worker threads used for `lq_batch_s`.
+    pub batch_threads: usize,
 }
 
 impl WorkloadProfile {
-    /// Total iteration time.
+    /// Total iteration time (serial LQ evaluation).
     pub fn total_s(&self) -> f64 {
         self.lq_approx_s + self.solver_s + self.other_s
+    }
+
+    /// Total iteration time with the batched LQ approximation.
+    pub fn total_batched_s(&self) -> f64 {
+        self.lq_batch_s + self.solver_s + self.other_s
     }
 
     /// Fraction of the iteration spent in the LQ approximation.
@@ -38,28 +51,51 @@ impl WorkloadProfile {
     pub fn derivatives_fraction(&self) -> f64 {
         self.derivatives_s / self.total_s()
     }
+
+    /// Speedup of the batched LQ approximation over the serial one.
+    pub fn lq_batch_speedup(&self) -> f64 {
+        self.lq_approx_s / self.lq_batch_s.max(1e-12)
+    }
 }
 
 /// Profiles one MPC iteration with `n_points` sampling points on
-/// `model`: per point an RK4 sensitivity evaluation (4 serial ΔFD
+/// `model`, using all available host parallelism for the batched LQ
+/// measurement: per point an RK4 sensitivity evaluation (4 serial ΔFD
 /// sub-tasks), then a serial backward pass over the collected Jacobians.
 pub fn profile_mpc_iteration(model: &RobotModel, n_points: usize) -> WorkloadProfile {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    profile_mpc_iteration_threaded(model, n_points, threads)
+}
+
+/// [`profile_mpc_iteration`] with an explicit worker count for the
+/// batched LQ measurement.
+pub fn profile_mpc_iteration_threaded(
+    model: &RobotModel,
+    n_points: usize,
+    threads: usize,
+) -> WorkloadProfile {
     let mut ws = DynamicsWorkspace::new(model);
     let nv = model.nv();
     let dt = 0.01;
     let tau = vec![0.0; nv];
-    let states: Vec<_> = (0..n_points).map(|i| random_state(model, i as u64)).collect();
+    let states: Vec<_> = (0..n_points)
+        .map(|i| random_state(model, i as u64))
+        .collect();
 
-    // Derivatives-only share, measured on the same points.
+    // Derivatives-only share, measured on the same points through the
+    // zero-allocation fast path.
+    let mut dfd = FdDerivatives::zeros(nv);
     let t = Instant::now();
     for s in &states {
-        let d = rbd_dynamics::fd_derivatives(model, &mut ws, &s.q, &s.qd, &tau, None)
+        rbd_dynamics::fd_derivatives_into(model, &mut ws, &s.q, &s.qd, &tau, None, &mut dfd)
             .expect("ΔFD");
-        std::hint::black_box(&d);
+        std::hint::black_box(&dfd);
     }
     let derivatives_s = t.elapsed().as_secs_f64() * 4.0; // 4 RK4 stages
 
-    // Full LQ approximation (RK4 sensitivities per point).
+    // Full LQ approximation (RK4 sensitivities per point), serial.
     let t = Instant::now();
     let mut jacs = Vec::with_capacity(n_points);
     for s in &states {
@@ -67,6 +103,17 @@ pub fn profile_mpc_iteration(model: &RobotModel, n_points: usize) -> WorkloadPro
         jacs.push(j);
     }
     let lq_approx_s = t.elapsed().as_secs_f64();
+
+    // Same LQ approximation, batched across worker threads (the
+    // embarrassingly-parallel axis of Fig 13).
+    let mut batch = BatchEval::with_threads(model, threads);
+    let t = Instant::now();
+    let batched = batch.map(&states, |model, ws, _, s| {
+        let (_, _, j) = rk4_step_with_sensitivity(model, ws, &s.q, &s.qd, &tau, dt);
+        j
+    });
+    let lq_batch_s = t.elapsed().as_secs_f64();
+    std::hint::black_box(&batched);
 
     // Serial backward sweep over the Jacobians (Riccati-like chain).
     let t = Instant::now();
@@ -98,6 +145,8 @@ pub fn profile_mpc_iteration(model: &RobotModel, n_points: usize) -> WorkloadPro
         derivatives_s: derivatives_s.min(lq_approx_s),
         solver_s,
         other_s,
+        lq_batch_s,
+        batch_threads: batch.threads(),
     }
 }
 
@@ -127,5 +176,23 @@ mod tests {
         let sum = p.lq_approx_s + p.solver_s + p.other_s;
         assert!((p.total_s() - sum).abs() < 1e-12);
         assert!(p.total_s() > 0.0);
+        assert!(p.lq_batch_s > 0.0);
+        assert!(p.batch_threads >= 1);
+        assert!(p.total_batched_s() > 0.0);
+    }
+
+    #[test]
+    fn batched_lq_not_catastrophically_slower() {
+        // With 1 worker the batched path is the serial path plus
+        // negligible dispatch; with more workers it should not regress
+        // beyond scheduling noise.
+        let m = robots::iiwa();
+        let p = profile_mpc_iteration_threaded(&m, 32, 1);
+        assert!(
+            p.lq_batch_s < p.lq_approx_s * 3.0,
+            "batched {} vs serial {}",
+            p.lq_batch_s,
+            p.lq_approx_s
+        );
     }
 }

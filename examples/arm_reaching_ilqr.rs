@@ -14,7 +14,7 @@ fn main() {
     let goal = vec![0.8, -0.5, 0.4];
     println!("model: {model}\ngoal : {goal:?}");
 
-    let ilqr = Ilqr::new(
+    let mut ilqr = Ilqr::new(
         &model,
         goal.clone(),
         IlqrOptions {
@@ -25,7 +25,7 @@ fn main() {
             ..IlqrOptions::default()
         },
     );
-    let result = ilqr.solve(&vec![0.0; 3], &vec![0.0; 3]);
+    let result = ilqr.solve(&[0.0; 3], &[0.0; 3]);
 
     println!("\niteration  cost");
     for (k, c) in result.cost_history.iter().enumerate() {

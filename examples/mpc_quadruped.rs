@@ -20,8 +20,16 @@ fn main() {
     let n_points = 100;
     let p = profile_mpc_iteration(&model, n_points);
     println!("\nhost-measured iteration breakdown:");
-    println!("  LQ approximation : {:>8.2} ms ({:.0}%)", p.lq_approx_s * 1e3, p.lq_fraction() * 100.0);
-    println!("  … derivatives    : {:>8.2} ms ({:.0}%)", p.derivatives_s * 1e3, p.derivatives_fraction() * 100.0);
+    println!(
+        "  LQ approximation : {:>8.2} ms ({:.0}%)",
+        p.lq_approx_s * 1e3,
+        p.lq_fraction() * 100.0
+    );
+    println!(
+        "  … derivatives    : {:>8.2} ms ({:.0}%)",
+        p.derivatives_s * 1e3,
+        p.derivatives_fraction() * 100.0
+    );
     println!("  backward solver  : {:>8.2} ms", p.solver_s * 1e3);
     println!("  rollout / other  : {:>8.2} ms", p.other_s * 1e3);
 

@@ -87,8 +87,15 @@ fn mass_matrix_paths_agree_everywhere() {
         let s = random_state(&model, 11);
         let m = accel.run_mass_matrix(&s.q).m.unwrap();
         let minv = accel.run_minv(&s.q).minv.unwrap();
-        let m_ref = mminv_gen(&model, &mut ws, &s.q, true, false).unwrap().m.unwrap();
-        assert!((&m - &m_ref).max_abs() < 1e-9 * (1.0 + m_ref.max_abs()), "{}", model.name());
+        let m_ref = mminv_gen(&model, &mut ws, &s.q, true, false)
+            .unwrap()
+            .m
+            .unwrap();
+        assert!(
+            (&m - &m_ref).max_abs() < 1e-9 * (1.0 + m_ref.max_abs()),
+            "{}",
+            model.name()
+        );
         // M · Minv = 1.
         let prod = m.mul_mat(&minv);
         let nv = model.nv();
@@ -121,16 +128,23 @@ fn derivative_functions_match_reference_everywhere() {
         let did_ref = rnea_derivatives(&model, &mut ws, &s.q, &s.qd, &qdd, Some(&fext));
         let (dq, dqd) = did.dtau.unwrap();
         let scale = 1.0 + did_ref.dtau_dq.max_abs();
-        assert!((&dq - &did_ref.dtau_dq).max_abs() / scale < 1e-9, "{}", model.name());
+        assert!(
+            (&dq - &did_ref.dtau_dq).max_abs() / scale < 1e-9,
+            "{}",
+            model.name()
+        );
         assert!((&dqd - &did_ref.dtau_dqd).max_abs() / scale < 1e-9);
 
         // ΔFD (3-stage feedback dataflow)
         let dfd = accel.run_dfd(&s.q, &s.qd, &tau, Some(&fext));
-        let dfd_ref =
-            fd_derivatives(&model, &mut ws, &s.q, &s.qd, &tau, Some(&fext)).unwrap();
+        let dfd_ref = fd_derivatives(&model, &mut ws, &s.q, &s.qd, &tau, Some(&fext)).unwrap();
         let (dq, dqd) = dfd.dqdd.unwrap();
         let scale = 1.0 + dfd_ref.dqdd_dq.max_abs();
-        assert!((&dq - &dfd_ref.dqdd_dq).max_abs() / scale < 1e-7, "{}", model.name());
+        assert!(
+            (&dq - &dfd_ref.dqdd_dq).max_abs() / scale < 1e-7,
+            "{}",
+            model.name()
+        );
         assert!((&dqd - &dfd_ref.dqdd_dqd).max_abs() / scale < 1e-7);
 
         // ΔiFD with host-provided M⁻¹

@@ -2,8 +2,8 @@
 //! full stack, the serialized stream interface, on-accelerator
 //! integration, and multi-instance scaling.
 
-use dadu_rbd::accel::{AccelConfig, DaduRbd, FunctionKind};
 use dadu_rbd::accel::stream::{decode_task, encode_task, stream_epsilon, TaskPacket};
+use dadu_rbd::accel::{AccelConfig, DaduRbd, FunctionKind};
 use dadu_rbd::dynamics::{forward_dynamics, rnea, total_energy, DynamicsWorkspace};
 use dadu_rbd::model::{random_state, robots};
 
@@ -11,7 +11,11 @@ use dadu_rbd::model::{random_state, robots};
 fn hexapod_and_dual_arm_through_the_full_stack() {
     for model in [robots::hexapod(), robots::dual_arm()] {
         let accel = DaduRbd::configure(&model, AccelConfig::default());
-        assert!(accel.device().fits(&accel.resource_usage()), "{}", model.name());
+        assert!(
+            accel.device().fits(&accel.resource_usage()),
+            "{}",
+            model.name()
+        );
         let mut ws = DynamicsWorkspace::new(&model);
         let s = random_state(&model, 1);
         let qdd: Vec<f64> = (0..model.nv()).map(|k| 0.1 * k as f64 - 0.4).collect();

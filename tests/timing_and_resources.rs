@@ -6,7 +6,12 @@ use dadu_rbd::model::robots;
 
 #[test]
 fn cycle_sim_agrees_with_closed_form_for_all_robots() {
-    for model in [robots::iiwa(), robots::hyq(), robots::atlas(), robots::tiago()] {
+    for model in [
+        robots::iiwa(),
+        robots::hyq(),
+        robots::atlas(),
+        robots::tiago(),
+    ] {
         let accel = DaduRbd::configure(&model, AccelConfig::default());
         for f in FunctionKind::all() {
             let est = accel.estimate(f, 128);
@@ -17,8 +22,8 @@ fn cycle_sim_agrees_with_closed_form_for_all_robots() {
                 "{} {f} latency",
                 model.name()
             );
-            let rel = (sim.total_cycles as f64 - est.batch_cycles as f64).abs()
-                / est.batch_cycles as f64;
+            let rel =
+                (sim.total_cycles as f64 - est.batch_cycles as f64).abs() / est.batch_cycles as f64;
             assert!(rel < 0.05, "{} {f}: rel error {rel}", model.name());
         }
     }
@@ -70,7 +75,9 @@ fn derivatives_throughput_ordering_matches_paper() {
     for model in robots::paper_robots() {
         let accel = DaduRbd::configure(&model, AccelConfig::default());
         let id = accel.estimate(FunctionKind::Id, 256).throughput_tasks_per_s;
-        let dfd = accel.estimate(FunctionKind::DFd, 256).throughput_tasks_per_s;
+        let dfd = accel
+            .estimate(FunctionKind::DFd, 256)
+            .throughput_tasks_per_s;
         assert!(id > dfd, "{}", model.name());
     }
 }
@@ -135,11 +142,7 @@ fn io_mostly_masked_at_paper_bandwidth() {
         let accel = DaduRbd::configure(&model, AccelConfig::default());
         for f in FunctionKind::all() {
             let est = accel.estimate(f, 256);
-            assert!(
-                !est.io_bound,
-                "{} {f} unexpectedly IO-bound",
-                model.name()
-            );
+            assert!(!est.io_bound, "{} {f} unexpectedly IO-bound", model.name());
         }
     }
     let accel = DaduRbd::configure(&robots::atlas(), AccelConfig::default());
