@@ -509,21 +509,7 @@ impl<'m> FunctionalEngine<'m> {
                             f_minv[i][j] += u[a] * minv[(bi + a, j)];
                         }
                     }
-                    for a in 0..ni {
-                        for b in 0..ni {
-                            let w = dinv[(a, b)];
-                            if w == 0.0 {
-                                continue;
-                            }
-                            let ua = u[a].to_array();
-                            let ub = u[b].to_array();
-                            for r in 0..6 {
-                                for c in 0..6 {
-                                    ia_out.m[r][c] -= ua[r] * w * ub[c];
-                                }
-                            }
-                        }
-                    }
+                    ia_out.sub_outer_weighted(&u[..ni], |a, b| dinv[(a, b)]);
                 }
                 // btr: transformed F columns + shifted IA, lazily folded
                 // into the parent's slots.

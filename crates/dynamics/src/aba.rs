@@ -6,7 +6,7 @@
 use crate::workspace::DynamicsWorkspace;
 use crate::DynamicsError;
 use rbd_model::RobotModel;
-use rbd_spatial::{ForceVec, Mat6, MatN, MotionVec, VecN};
+use rbd_spatial::{ForceVec, MatN, MotionVec, VecN};
 
 /// Forward dynamics `q̈ = ABA(q, q̇, τ, f_ext)` — O(N) articulated-body
 /// algorithm with multi-DOF joint support.
@@ -42,10 +42,8 @@ pub fn aba(
     // Pass 1: velocities, bias accelerations, articulated quantities init.
     for i in 0..nb {
         let vo = model.v_offset(i);
-        let mut vj = MotionVec::zero();
-        for (k, s) in ws.s[i].iter().enumerate() {
-            vj += *s * qd[vo + k];
-        }
+        let ni = ws.s_off[i + 1] - ws.s_off[i];
+        let vj = MotionVec::weighted_sum(&ws.s[vo..vo + ni], &qd[vo..vo + ni]);
         let v = match model.topology().parent(i) {
             Some(p) => ws.xup[i].apply_motion(&ws.v[p]) + vj,
             None => vj,
@@ -69,41 +67,26 @@ pub fn aba(
     // Pass 2: articulated inertia backward sweep.
     for i in (0..nb).rev() {
         let vo = model.v_offset(i);
-        let ni = ws.s[i].len();
-        let u: Vec<ForceVec> = ws.s[i]
-            .iter()
-            .map(|s| ws.ia[i].mul_motion_to_force(s))
-            .collect();
+        let ni = ws.s_off[i + 1] - ws.s_off[i];
+        let cols = &ws.s[vo..vo + ni];
+        let mut u = vec![ForceVec::zero(); ni];
+        ws.ia[i].mul_motion_to_force_batch(cols, &mut u);
         let mut d = MatN::zeros(ni, ni);
         for a in 0..ni {
             for b in 0..ni {
-                d[(a, b)] = ws.s[i][a].dot_force(&u[b]);
+                d[(a, b)] = cols[a].dot_force(&u[b]);
             }
         }
         let dinv = d.inverse_spd()?;
         let mut ub = VecN::zeros(ni);
         for k in 0..ni {
-            ub[k] = tau[vo + k] - ws.s[i][k].dot_force(&ws.pa[i]);
+            ub[k] = tau[vo + k] - cols[k].dot_force(&ws.pa[i]);
         }
 
         if let Some(p) = model.topology().parent(i) {
             // Ia = IA - U D⁻¹ Uᵀ
             let mut ia = ws.ia[i];
-            for a in 0..ni {
-                for b in 0..ni {
-                    let w = dinv[(a, b)];
-                    if w == 0.0 {
-                        continue;
-                    }
-                    let ua = u[a].to_array();
-                    let ubv = u[b].to_array();
-                    for r in 0..6 {
-                        for c in 0..6 {
-                            ia.m[r][c] -= ua[r] * w * ubv[c];
-                        }
-                    }
-                }
-            }
+            ia.sub_outer_weighted(&u, |a, b| dinv[(a, b)]);
             // pa' = pA + Ia c + U D⁻¹ u
             let mut pa = ws.pa[i] + ia.mul_motion_to_force(&ws.c_bias[i]);
             for a in 0..ni {
@@ -113,8 +96,7 @@ pub fn aba(
                 }
                 pa += u[a] * coeff;
             }
-            let x6 = Mat6::from_xform_motion(&ws.xup[i]);
-            ws.ia[p] += ia.congruence(&x6);
+            ia.add_congruence_xform_sym(&ws.xup[i], &mut ws.ia[p]);
             ws.pa[p] += ws.xup[i].inv_apply_force(&pa);
         }
 
@@ -127,7 +109,7 @@ pub fn aba(
     let mut qdd = vec![0.0; model.nv()];
     for i in 0..nb {
         let vo = model.v_offset(i);
-        let ni = ws.s[i].len();
+        let ni = ws.s_off[i + 1] - ws.s_off[i];
         let a_par = match model.topology().parent(i) {
             Some(p) => ws.xup[i].apply_motion(&ws.a[p]),
             None => ws.xup[i].apply_motion(&a0),
@@ -148,7 +130,7 @@ pub fn aba(
             }
         }
         let mut a_i = a_prime;
-        for (k, s) in ws.s[i].iter().enumerate() {
+        for (k, s) in ws.s[vo..vo + ni].iter().enumerate() {
             qdd[vo + k] = out[k];
             a_i += *s * out[k];
         }

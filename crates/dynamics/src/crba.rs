@@ -2,7 +2,7 @@
 
 use crate::workspace::DynamicsWorkspace;
 use rbd_model::RobotModel;
-use rbd_spatial::{ForceVec, Mat6, MatN};
+use rbd_spatial::{ForceVec, MatN};
 
 /// Mass matrix `M(q)` via the Composite Rigid Body Algorithm.
 ///
@@ -40,44 +40,42 @@ pub fn crba_into(model: &RobotModel, ws: &mut DynamicsWorkspace, q: &[f64], m: &
     m.resize(nv, nv);
     m.fill(0.0);
 
-    // Composite inertias, leaves → root.
+    // Composite inertias, leaves → root (fused analytic congruence
+    // accumulation — no dense 6×6 transform matrices).
     for i in 0..nb {
         ws.ia[i] = model.link_inertia(i).to_mat6();
     }
     for i in (0..nb).rev() {
         if let Some(p) = model.topology().parent(i) {
-            let x6 = Mat6::from_xform_motion(&ws.xup[i]);
-            let shifted = ws.ia[i].congruence(&x6);
-            ws.ia[p] += shifted;
+            let ia = ws.ia[i];
+            ia.add_congruence_xform_sym(&ws.xup[i], &mut ws.ia[p]);
         }
     }
 
     for i in 0..nb {
         let vo_i = model.v_offset(i);
-        let cols = &ws.s[i];
-        let ni = cols.len();
+        let ni = ws.s_off[i + 1] - ws.s_off[i];
+        let cols = &ws.s[vo_i..vo_i + ni];
         // Force columns of the composite inertia along each DOF of i
         // (at most 6, so they fit on the stack).
         let mut fcols = [ForceVec::zero(); 6];
-        for (b, s) in cols.iter().enumerate() {
-            fcols[b] = ws.ia[i].mul_motion_to_force(s);
-        }
+        ws.ia[i].mul_motion_to_force_batch(cols, &mut fcols[..ni]);
         // Diagonal block.
         for (a, s) in cols.iter().enumerate() {
             for (b, f) in fcols[..ni].iter().enumerate() {
                 m[(vo_i + a, vo_i + b)] = s.dot_force(f);
             }
         }
-        // Walk up the ancestor chain.
+        // Walk up the ancestor chain, shifting all of body i's force
+        // columns one link at a time with the batched adjoint transform.
         let mut j = i;
         while let Some(p) = model.topology().parent(j) {
-            for f in fcols[..ni].iter_mut() {
-                *f = ws.xup[j].inv_apply_force(f);
-            }
+            ws.xup[j].inv_apply_force_batch_in_place(&mut fcols[..ni]);
             j = p;
             let vo_j = model.v_offset(j);
+            let nj = ws.s_off[j + 1] - ws.s_off[j];
             for (b, f) in fcols[..ni].iter().enumerate() {
-                for (a, s) in ws.s[j].iter().enumerate() {
+                for (a, s) in ws.s[vo_j..vo_j + nj].iter().enumerate() {
                     let val = s.dot_force(f);
                     m[(vo_j + a, vo_i + b)] = val;
                     m[(vo_i + b, vo_j + a)] = val;

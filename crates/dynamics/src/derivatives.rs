@@ -66,12 +66,16 @@ struct BodyInvariants {
 /// velocity/acceleration derivative columns of DOF `j` — the Lie
 /// derivative of the inertia (`d_inertia_apply`) expanded around the
 /// hoisted `I v` / `I a` products.
+///
+/// `∂v/∂q̇_j` is exactly `S_j` for every body below joint `j`, so the
+/// caller passes the shared `S_j ×* (I v)` product (`sj_x_iwv`) once and
+/// both outputs reuse it.
 #[inline(always)]
 fn body_force_derivatives(
     b: &BodyInvariants,
     sj: &MotionVec,
+    sj_x_iwv: &ForceVec,
     dv_q: &MotionVec,
-    dv_qd: &MotionVec,
     da_q: &MotionVec,
     da_qd: &MotionVec,
 ) -> (ForceVec, ForceVec) {
@@ -82,14 +86,15 @@ fn body_force_derivatives(
         iw_v,
         iw_a,
     } = b;
-    let df_q = sj.cross_force(iw_a) - iw.mul_motion(&sj.cross_motion(a))
-        + iw.mul_motion(da_q)
+    // `I` is linear, so the two pairs of applications of the original
+    // expansion (`-I(sj×a) + I(da_q)` and `-I(sj×v) + I(dv_q)`) fuse into
+    // single applications to differences — two inertia applies saved per
+    // column at tolerance-level numerical difference.
+    let df_q = sj.cross_force(iw_a)
+        + iw.apply_diff(da_q, &sj.cross_motion(a))
         + dv_q.cross_force(iw_v)
-        + v.cross_force(
-            &(sj.cross_force(iw_v) - iw.mul_motion(&sj.cross_motion(v)) + iw.mul_motion(dv_q)),
-        );
-    let df_qd =
-        iw.mul_motion(da_qd) + dv_qd.cross_force(iw_v) + v.cross_force(&iw.mul_motion(dv_qd));
+        + v.cross_force(&(*sj_x_iwv + iw.apply_diff(dv_q, &sj.cross_motion(v))));
+    let df_qd = iw.mul_motion(da_qd) + *sj_x_iwv + v.cross_force(&iw.mul_motion(sj));
     (df_q, df_qd)
 }
 
@@ -159,6 +164,7 @@ pub fn rnea_derivatives_into(
     // slices can be read while the scratch tables are written.
     let DynamicsWorkspace {
         s,
+        s_off,
         xworld,
         f,
         s_world,
@@ -174,7 +180,6 @@ pub fn rnea_derivatives_into(
         aj_w,
         inertia_w,
         dv_dq,
-        dv_dqd,
         da_dq,
         da_dqd,
         df_dq,
@@ -187,44 +192,37 @@ pub fn rnea_derivatives_into(
 
     // Gravity baseline: a₀ = -g in world coordinates.
     let a0 = MotionVec::new(rbd_spatial::Vec3::zero(), -model.gravity);
-    let zero = MotionVec::zero();
 
     // Forward pass: world-frame S columns, velocities, accelerations,
     // inertias.
     for i in 0..nb {
         let x0 = xworld[i];
         let vo = model.v_offset(i);
-        let ni = s[i].len();
-        for k in 0..ni {
-            s_world[vo + k] = x0.inv_apply_motion(&s[i][k]);
-        }
-        let mut vj = MotionVec::zero();
-        let mut aj = MotionVec::zero();
-        for k in 0..ni {
-            vj += s_world[vo + k] * qd[vo + k];
-            aj += s_world[vo + k] * qdd[vo + k];
-        }
-        vj_w[i] = vj;
-        aj_w[i] = aj;
+        let ni = s_off[i + 1] - s_off[i];
+        x0.inv_apply_motion_batch(&s[vo..vo + ni], &mut s_world[vo..vo + ni]);
+        vj_w[i] = MotionVec::weighted_sum(&s_world[vo..vo + ni], &qd[vo..vo + ni]);
+        aj_w[i] = MotionVec::weighted_sum(&s_world[vo..vo + ni], &qdd[vo..vo + ni]);
 
         let (vp, ap) = match model.topology().parent(i) {
             Some(p) => (v_world[p], a_world[p]),
             None => (MotionVec::zero(), a0),
         };
-        let v = vp + vj;
+        let v = vp + vj_w[i];
         v_world[i] = v;
-        a_world[i] = ap + aj + v.cross_motion(&vj);
+        a_world[i] = ap + aj_w[i] + v.cross_motion(&vj_w[i]);
 
         inertia_w[i] = model.link_inertia(i).transform_to_parent(&x0);
     }
 
     // Body forces (world frame) and their derivatives along the chain
-    // DOFs. Entries of the parent tables at body `i`'s *own* DOFs are
-    // structurally zero (an ancestor cannot depend on a descendant DOF),
-    // which the `j < vo` test below exploits — so the `dv`/`da` tables
-    // never need re-zeroing between calls. The `df` tables are
-    // accumulated into during the backward pass at descendant DOFs, so
-    // exactly those slots are cleared here.
+    // DOFs. The `dv`/`da` tables are chain-compacted: body `i`'s row
+    // holds exactly its chain entries, and since `chain(i)` extends
+    // `chain(parent)` verbatim, entry `k` of the parent row is the parent
+    // value for entry `k` of the child row — no strided indexing and no
+    // structurally-zero slots. `∂v/∂q̇` needs no table at all: it is
+    // exactly `S_j` in world coordinates for every body below joint `j`.
+    // The `df` tables are accumulated into during the backward pass at
+    // descendant DOFs, so exactly those slots are cleared here.
     for i in 0..nb {
         let parent = model.topology().parent(i);
         let v = v_world[i];
@@ -249,14 +247,15 @@ pub fn rnea_derivatives_into(
             df_dqd[row + j] = ForceVec::zero();
         }
 
-        // The chain splits into inherited DOFs (j < vo: ancestors, with
+        // The chain splits into inherited DOFs (ancestors, with
         // parent-table entries) and body i's own DOFs (no parent terms,
         // but the extra `S` and `v × S` contributions) — handling them in
         // two loops removes the per-column branches.
-        let prow = parent.map(|p| p * nv);
+        let crow = chain_offsets[i];
+        let pcrow = parent.map(|p| chain_offsets[p]);
         let (inherited, own_dofs) = {
             let c = chain(i);
-            let split = c.len() - s[i].len();
+            let split = c.len() - (s_off[i + 1] - s_off[i]);
             (&c[..split], &c[split..])
         };
         let body = BodyInvariants {
@@ -266,44 +265,43 @@ pub fn rnea_derivatives_into(
             iw_v,
             iw_a,
         };
-        for &j in inherited {
+        for (k, &j) in inherited.iter().enumerate() {
             let sj = s_world[j];
-            let pr = prow.expect("inherited DOFs imply a parent");
-            let (pdv_q, pdv_qd, pda_q, pda_qd) =
-                (dv_dq[pr + j], dv_dqd[pr + j], da_dq[pr + j], da_dqd[pr + j]);
+            let pc = pcrow.expect("inherited DOFs imply a parent") + k;
+            let (pdv_q, pda_q, pda_qd) = (dv_dq[pc], da_dq[pc], da_dqd[pc]);
+            // `S_j × vJ` and `S_j ×* (I v)` each appear twice below
+            // (∂v/∂q̇ is exactly S_j) — computed once per column.
             let sjxvj = sj.cross_motion(&vji);
-            // --- velocity derivatives
+            let sj_x_iwv = sj.cross_force(&iw_v);
+            // --- velocity derivatives (∂v/∂q̇ is exactly S_j, untabled)
             let dv_q = pdv_q + sjxvj;
-            let dv_qd = pdv_qd;
             // --- acceleration derivatives
             let da_q =
                 pda_q + sj.cross_motion(&aji) + dv_q.cross_motion(&vji) + v.cross_motion(&sjxvj);
-            let da_qd = pda_qd + dv_qd.cross_motion(&vji);
+            let da_qd = pda_qd + sjxvj;
 
-            dv_dq[row + j] = dv_q;
-            dv_dqd[row + j] = dv_qd;
-            da_dq[row + j] = da_q;
-            da_dqd[row + j] = da_qd;
+            dv_dq[crow + k] = dv_q;
+            da_dq[crow + k] = da_q;
+            da_dqd[crow + k] = da_qd;
 
-            let (df_q, df_qd) = body_force_derivatives(&body, &sj, &dv_q, &dv_qd, &da_q, &da_qd);
+            let (df_q, df_qd) = body_force_derivatives(&body, &sj, &sj_x_iwv, &dv_q, &da_q, &da_qd);
             df_dq[row + j] = df_q;
             df_dqd[row + j] = df_qd;
         }
-        for &j in own_dofs {
+        let split = inherited.len();
+        for (k, &j) in own_dofs.iter().enumerate() {
             let sj = s_world[j];
             let sjxvj = sj.cross_motion(&vji);
-            let dv_q = zero + sjxvj;
-            let dv_qd = sj;
-            let da_q =
-                zero + sj.cross_motion(&aji) + dv_q.cross_motion(&vji) + v.cross_motion(&sjxvj);
-            let da_qd = zero + dv_qd.cross_motion(&vji) + v.cross_motion(&sj);
+            let sj_x_iwv = sj.cross_force(&iw_v);
+            let dv_q = sjxvj;
+            let da_q = sj.cross_motion(&aji) + dv_q.cross_motion(&vji) + v.cross_motion(&sjxvj);
+            let da_qd = sjxvj + v.cross_motion(&sj);
 
-            dv_dq[row + j] = dv_q;
-            dv_dqd[row + j] = dv_qd;
-            da_dq[row + j] = da_q;
-            da_dqd[row + j] = da_qd;
+            dv_dq[crow + split + k] = dv_q;
+            da_dq[crow + split + k] = da_q;
+            da_dqd[crow + split + k] = da_qd;
 
-            let (df_q, df_qd) = body_force_derivatives(&body, &sj, &dv_q, &dv_qd, &da_q, &da_qd);
+            let (df_q, df_qd) = body_force_derivatives(&body, &sj, &sj_x_iwv, &dv_q, &da_q, &da_qd);
             df_dq[row + j] = df_q;
             df_dqd[row + j] = df_qd;
         }
@@ -317,11 +315,10 @@ pub fn rnea_derivatives_into(
 
     for i in (0..nb).rev() {
         let vo = model.v_offset(i);
-        let ni = s[i].len();
+        let ni = s_off[i + 1] - s_off[i];
         let row = i * nv;
-        for k in 0..ni {
-            out.tau[vo + k] = s_world[vo + k].dot_force(&f[i]);
-        }
+        MotionVec::dot_force_batch(&s_world[vo..vo + ni], &f[i], &mut out.tau[vo..vo + ni]);
+        let prow = model.topology().parent(i).map(|p| p * nv);
         for &j in rel(i) {
             let dfq = df_dq[row + j];
             let dfqd = df_dqd[row + j];
@@ -345,16 +342,16 @@ pub fn rnea_derivatives_into(
                 out.dtau_dq[(vo + k, j)] += dq;
                 out.dtau_dqd[(vo + k, j)] += sk.dot_force(&dfqd);
             }
+            // Aggregate into the parent row in the same sweep — the
+            // columns are already in registers.
+            if let Some(pr) = prow {
+                df_dq[pr + j] += dfq;
+                df_dqd[pr + j] += dfqd;
+            }
         }
         if let Some(p) = model.topology().parent(i) {
             let fa = f[i];
             f[p] += fa;
-            let prow = p * nv;
-            for &j in rel(i) {
-                let (dq, dqd) = (df_dq[row + j], df_dqd[row + j]);
-                df_dq[prow + j] += dq;
-                df_dqd[prow + j] += dqd;
-            }
         }
     }
 }

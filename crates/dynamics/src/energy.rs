@@ -16,10 +16,8 @@ pub fn kinetic_energy(
     let mut e = 0.0;
     for i in 0..model.num_bodies() {
         let vo = model.v_offset(i);
-        let mut vj = MotionVec::zero();
-        for (k, s) in ws.s[i].iter().enumerate() {
-            vj += *s * qd[vo + k];
-        }
+        let ni = ws.s_off[i + 1] - ws.s_off[i];
+        let vj = MotionVec::weighted_sum(&ws.s[vo..vo + ni], &qd[vo..vo + ni]);
         let v = match model.topology().parent(i) {
             Some(p) => ws.xup[i].apply_motion(&ws.v[p]) + vj,
             None => vj,

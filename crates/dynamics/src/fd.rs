@@ -161,8 +161,10 @@ pub fn fd_derivatives_into(
         ws.rhs_scratch[i] = tau[i] - ws.tau[i];
     }
     out.dqdd_dtau.mul_slice_into(&ws.rhs_scratch, &mut out.qdd);
-    // Steps ④-⑥: ΔID at q̈, then the M⁻¹ products.
-    difd_core_into(model, ws, q, qd, fext, out);
+    // Steps ④-⑥: ΔID at q̈, then the M⁻¹ products. MMinvGen's output is
+    // exactly symmetric (`symmetrize_from_upper`), so the tail can use it
+    // as its own transpose bit-identically.
+    difd_core_into(model, ws, q, qd, fext, out, true);
     Ok(())
 }
 
@@ -185,7 +187,7 @@ pub fn fd_derivatives_with_minv(
     let mut out = FdDerivatives::zeros(model.nv());
     out.dqdd_dtau = minv;
     out.qdd.copy_from_slice(qdd);
-    difd_core_into(model, ws, q, qd, fext, &mut out);
+    difd_core_into(model, ws, q, qd, fext, &mut out, false);
     out
 }
 
@@ -212,11 +214,17 @@ pub fn fd_derivatives_with_minv_into(
     out.ensure_dims(nv);
     out.dqdd_dtau.copy_from(minv);
     out.qdd.copy_from_slice(qdd);
-    difd_core_into(model, ws, q, qd, fext, out);
+    difd_core_into(model, ws, q, qd, fext, out, false);
 }
 
 /// Shared ΔiFD tail: expects `out.dqdd_dtau = M⁻¹` and `out.qdd` set,
 /// fills `out.dqdd_dq` / `out.dqdd_dqd` via `∂q̈/∂u = -M⁻¹ ∂τ/∂u`.
+///
+/// `minv_symmetric` asserts that `out.dqdd_dtau` is *bitwise* symmetric
+/// (true for MMinvGen's symmetrized output), letting the tail skip the
+/// `M⁻¹ᵀ` staging transpose with identical results. Callers passing an
+/// arbitrary user-supplied `M⁻¹` (the Robomorphic ΔiFD signature) must
+/// pass `false`.
 fn difd_core_into(
     model: &RobotModel,
     ws: &mut DynamicsWorkspace,
@@ -224,6 +232,7 @@ fn difd_core_into(
     qd: &[f64],
     fext: Option<&[ForceVec]>,
     out: &mut FdDerivatives,
+    minv_symmetric: bool,
 ) {
     // ΔID scratch lives in the workspace; moved out so `ws` can be
     // passed down (the move swaps buffers, no heap traffic).
@@ -231,31 +240,83 @@ fn difd_core_into(
     // Borrow dance: `out.qdd` is read while `out` matrices are written
     // afterwards, so the ΔID call only borrows disjoint pieces.
     rnea_derivatives_into(model, ws, q, qd, &out.qdd, fext, &mut did);
-    // ∂q̈/∂u = -M⁻¹ ∂τ/∂u, computed as -(∂τ/∂uᵀ · M⁻¹ᵀ)ᵀ: putting the
+    // ∂q̈/∂u = -M⁻¹ ∂τ/∂u, computed as (-∂τ/∂uᵀ · M⁻¹ᵀ)ᵀ: putting the
     // branch-sparse ∂τ matrix on the left lets the product skip its zero
     // blocks (Fig 5 sparsity), at the cost of one O(nv²) transpose of
     // M⁻¹ — exact for any M⁻¹ (same multiply pairs, same k-summation
-    // order as the direct product; skipped terms are exact zeros).
+    // order as the direct product; skipped terms are exact zeros). The
+    // transposed-left product and the -1 scale are fused into
+    // `tr_mul_mat_scaled_into`, so only M⁻¹ and the two outputs are ever
+    // transposed.
     let nv = model.nv();
-    let mut tr = std::mem::take(&mut ws.mat_scratch_a);
     let mut prod_t = std::mem::take(&mut ws.mat_scratch_b);
     let mut minv_t = std::mem::take(&mut ws.minv_scratch);
-    tr.resize(nv, nv);
     prod_t.resize(nv, nv);
-    minv_t.resize(nv, nv);
-    out.dqdd_dtau.transpose_into(&mut minv_t);
-    did.dtau_dq.transpose_into(&mut tr);
-    tr.mul_mat_into(&minv_t, &mut prod_t);
-    prod_t.transpose_into(&mut out.dqdd_dq);
-    out.dqdd_dq.scale(-1.0);
-    did.dtau_dqd.transpose_into(&mut tr);
-    tr.mul_mat_into(&minv_t, &mut prod_t);
-    prod_t.transpose_into(&mut out.dqdd_dqd);
-    out.dqdd_dqd.scale(-1.0);
-    ws.mat_scratch_a = tr;
+    if minv_symmetric {
+        // M⁻¹ᵀ = M⁻¹ bit-for-bit: use it in place.
+        let minv = &out.dqdd_dtau;
+        neg_sparse_tr_product(&did.dtau_dq, minv, ws, &mut prod_t);
+        prod_t.transpose_into(&mut out.dqdd_dq);
+        neg_sparse_tr_product(&did.dtau_dqd, minv, ws, &mut prod_t);
+        prod_t.transpose_into(&mut out.dqdd_dqd);
+    } else {
+        minv_t.resize(nv, nv);
+        out.dqdd_dtau.transpose_into(&mut minv_t);
+        neg_sparse_tr_product(&did.dtau_dq, &minv_t, ws, &mut prod_t);
+        prod_t.transpose_into(&mut out.dqdd_dq);
+        neg_sparse_tr_product(&did.dtau_dqd, &minv_t, ws, &mut prod_t);
+        prod_t.transpose_into(&mut out.dqdd_dqd);
+    }
     ws.mat_scratch_b = prod_t;
     ws.minv_scratch = minv_t;
     ws.did_scratch = did;
+}
+
+/// `out_t[j][:] = -Σ_k ∂τ[k][j] · b[k][:]`, i.e. `out_t = (-M⁻¹·∂τ)ᵀ`
+/// with `b = M⁻¹ᵀ` — the ΔiFD product evaluated column-major over the
+/// *structural* non-zeros of `∂τ`: column `j` only sums over the related
+/// DOFs of joint `j`'s body (Fig 5 branch sparsity), walked from the
+/// precomputed workspace index sets instead of value tests. The k-chunked
+/// accumulation keeps one output row hot across four scaled-row
+/// additions, quartering the store pressure of a per-nonzero AXPY.
+fn neg_sparse_tr_product(dtau: &MatN, b: &MatN, ws: &DynamicsWorkspace, out_t: &mut MatN) {
+    let nv = b.cols();
+    for j in 0..nv {
+        let bj = ws.dof_body[j];
+        let ks = &ws.rel_dofs[ws.rel_offsets[bj]..ws.rel_offsets[bj + 1]];
+        let row = &mut out_t.row_mut(j)[..nv];
+        row.fill(0.0);
+        let mut chunks = ks.chunks_exact(4);
+        for ch in &mut chunks {
+            let c = [
+                -dtau[(ch[0], j)],
+                -dtau[(ch[1], j)],
+                -dtau[(ch[2], j)],
+                -dtau[(ch[3], j)],
+            ];
+            let b0 = &b.row(ch[0])[..nv];
+            let b1 = &b.row(ch[1])[..nv];
+            let b2 = &b.row(ch[2])[..nv];
+            let b3 = &b.row(ch[3])[..nv];
+            for i in 0..nv {
+                // Sequential adds in ascending-k order (no reassociation)
+                // so the sum matches the one-AXPY-per-k evaluation.
+                let mut o = row[i];
+                o += c[0] * b0[i];
+                o += c[1] * b1[i];
+                o += c[2] * b2[i];
+                o += c[3] * b3[i];
+                row[i] = o;
+            }
+        }
+        for &k in chunks.remainder() {
+            let c = -dtau[(k, j)];
+            let bk = &b.row(k)[..nv];
+            for i in 0..nv {
+                row[i] += c * bk[i];
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ pub fn point_velocity_world(
         v[r] = acc;
     }
     // Spatial velocity → velocity of the point at p: v_p = v_lin + ω × p.
-    v.lin + v.ang.cross(&p_world)
+    v.lin() + v.ang().cross(&p_world)
 }
 
 /// World position of body `body`'s frame origin.

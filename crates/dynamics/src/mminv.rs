@@ -33,6 +33,16 @@ pub struct MMinvOutput {
 /// unpivoted LDLᵀ, mirroring `MatN::inverse_spd` (same operation order,
 /// same pivot threshold) so results are bit-identical to the dense path.
 fn invert_spd_small(d: &[[f64; 6]; 6], n: usize) -> Result<[[f64; 6]; 6], FactorizationError> {
+    // 1-DOF joints (the overwhelmingly common case) reduce to a scalar
+    // reciprocal — identical to what the general path computes for n = 1.
+    if n == 1 {
+        if d[0][0].abs() < 1e-12 {
+            return Err(FactorizationError::ZeroPivot { index: 0 });
+        }
+        let mut inv = [[0.0; 6]; 6];
+        inv[0][0] = 1.0 / d[0][0];
+        return Ok(inv);
+    }
     let mut l = [[0.0; 6]; 6];
     let mut diag = [0.0; 6];
     for i in 0..n {
@@ -169,6 +179,7 @@ pub fn mminv_gen_into(
 
     let DynamicsWorkspace {
         s,
+        s_off,
         xup,
         ia,
         ia_m,
@@ -178,8 +189,10 @@ pub fn mminv_gen_into(
         u_m_cols,
         d_inv,
         p_cols,
+        tp_cols,
         desc_offsets,
         desc_dofs,
+        first_child_v,
         ..
     } = ws;
     let desc = |i: usize| &desc_dofs[desc_offsets[i]..desc_offsets[i + 1]];
@@ -194,7 +207,7 @@ pub fn mminv_gen_into(
         }
         let row = i * nv;
         let bi = model.v_offset(i);
-        let ni = s[i].len();
+        let ni = s_off[i + 1] - s_off[i];
         for j in (bi..bi + ni).chain(desc(i).iter().copied()) {
             if want_minv {
                 f_minv[row + j] = ForceVec::zero();
@@ -208,7 +221,8 @@ pub fn mminv_gen_into(
     // ------------------------------------------------------- backward pass
     for i in (0..nb).rev() {
         let bi = model.v_offset(i);
-        let ni = s[i].len();
+        let ni = s_off[i + 1] - s_off[i];
+        let cols = &s[bi..bi + ni];
         let row = i * nv;
 
         // IA_i += I_i  (children already accumulated their contributions)
@@ -218,22 +232,18 @@ pub fn mminv_gen_into(
         }
 
         // U = IA S ;  D = Sᵀ U   (articulated quantities, Minv path)
-        for (a, sa) in s[i].iter().enumerate() {
-            u_cols[bi + a] = ia[i].mul_motion_to_force(sa);
-        }
+        ia[i].mul_motion_to_force_batch(cols, &mut u_cols[bi..bi + ni]);
         let mut d = [[0.0; 6]; 6];
         for a in 0..ni {
             for b in 0..ni {
-                d[a][b] = s[i][a].dot_force(&u_cols[bi + b]);
+                d[a][b] = cols[a].dot_force(&u_cols[bi + b]);
             }
         }
         let dinv = invert_spd_small(&d, ni).map_err(DynamicsError::SingularMassMatrix)?;
         d_inv[i] = dinv;
         // Composite-inertia variants for the M path.
         if want_m {
-            for (a, sa) in s[i].iter().enumerate() {
-                u_m_cols[bi + a] = ia_m[i].mul_motion_to_force(sa);
-            }
+            ia_m[i].mul_motion_to_force_batch(cols, &mut u_m_cols[bi..bi + ni]);
         }
 
         if let Some(minv) = out_minv.as_deref_mut() {
@@ -243,12 +253,18 @@ pub fn mminv_gen_into(
                     minv[(bi + a, bi + b)] = dinv[a][b];
                 }
             }
-            // Minv[i, treee(i)] = -D⁻¹ Sᵀ F[:, treee(i)]
+            // Minv[i, treee(i)] = -D⁻¹ Sᵀ F[:, treee(i)], with the Sᵀ F
+            // dot products hoisted out of the D⁻¹ row loop.
             for &j in desc(i) {
+                let fj = f_minv[row + j];
+                let mut sf = [0.0; 6];
+                for b in 0..ni {
+                    sf[b] = cols[b].dot_force(&fj);
+                }
                 for a in 0..ni {
                     let mut acc = 0.0;
                     for b in 0..ni {
-                        acc += dinv[a][b] * s[i][b].dot_force(&f_minv[row + j]);
+                        acc += dinv[a][b] * sf[b];
                     }
                     minv[(bi + a, j)] = -acc;
                 }
@@ -258,12 +274,12 @@ pub fn mminv_gen_into(
             // M[i, i] = Sᵀ I^c S ; M[i, treee(i)] = Sᵀ F[:, treee(i)]
             for a in 0..ni {
                 for b in 0..ni {
-                    m[(bi + a, bi + b)] = s[i][a].dot_force(&u_m_cols[bi + b]);
+                    m[(bi + a, bi + b)] = cols[a].dot_force(&u_m_cols[bi + b]);
                 }
             }
             for &j in desc(i) {
                 for a in 0..ni {
-                    m[(bi + a, j)] = s[i][a].dot_force(&f_m[row + j]);
+                    m[(bi + a, j)] = cols[a].dot_force(&f_m[row + j]);
                 }
             }
         }
@@ -278,22 +294,8 @@ pub fn mminv_gen_into(
                         f_minv[row + j] += u_cols[bi + a] * minv[(bi + a, j)];
                     }
                 }
-                // IA_i -= U D⁻¹ Uᵀ
-                for a in 0..ni {
-                    for b in 0..ni {
-                        let w = dinv[a][b];
-                        if w == 0.0 {
-                            continue;
-                        }
-                        let ua = u_cols[bi + a].to_array();
-                        let ub = u_cols[bi + b].to_array();
-                        for r in 0..6 {
-                            for c in 0..6 {
-                                ia[i].m[r][c] -= ua[r] * w * ub[c];
-                            }
-                        }
-                    }
-                }
+                // IA_i -= U D⁻¹ Uᵀ (fused rank-k update)
+                ia[i].sub_outer_weighted(&u_cols[bi..bi + ni], |a, b| dinv[a][b]);
             }
             if want_m {
                 // F[:, i] = U  (composite-inertia columns)
@@ -301,24 +303,28 @@ pub fn mminv_gen_into(
                     f_m[row + bi + a] = u_m_cols[bi + a];
                 }
             }
-            // F_λ[:, tree(i)] += λX*_i F_i[:, tree(i)]
-            for j in own_and_desc {
-                if want_minv {
-                    let shifted = xup[i].inv_apply_force(&f_minv[row + j]);
-                    f_minv[prow + j] += shifted;
-                }
-                if want_m {
-                    let shifted = xup[i].inv_apply_force(&f_m[row + j]);
-                    f_m[prow + j] += shifted;
-                }
+            // F_λ[:, tree(i)] += λX*_i F_i[:, tree(i)] — batched adjoint
+            // accumulation; rows `prow` and `row` are disjoint (p < i),
+            // so split the flat table between them.
+            if want_minv {
+                let (head, tail) = f_minv.split_at_mut(row);
+                xup[i].inv_apply_force_accum(
+                    &tail[..nv],
+                    &mut head[prow..prow + nv],
+                    own_and_desc.clone(),
+                );
             }
-            // IA_λ += λX*_i IA_i iX_λ
-            let x6 = Mat6::from_xform_motion(&xup[i]);
-            let shifted = ia[i].congruence(&x6);
-            ia[p] += shifted;
             if want_m {
-                let shifted_m = ia_m[i].congruence(&x6);
-                ia_m[p] += shifted_m;
+                let (head, tail) = f_m.split_at_mut(row);
+                xup[i].inv_apply_force_accum(&tail[..nv], &mut head[prow..prow + nv], own_and_desc);
+            }
+            // IA_λ += λX*_i IA_i iX_λ (fused analytic congruence; the
+            // articulated/composite inertias are symmetric)
+            let iai = ia[i];
+            iai.add_congruence_xform_sym(&xup[i], &mut ia[p]);
+            if want_m {
+                let iam = ia_m[i];
+                iam.add_congruence_xform_sym(&xup[i], &mut ia_m[p]);
             }
         }
     }
@@ -327,28 +333,40 @@ pub fn mminv_gen_into(
     if let Some(minv) = out_minv {
         for i in 0..nb {
             let bi = model.v_offset(i);
-            let ni = s[i].len();
+            let ni = s_off[i + 1] - s_off[i];
             let row = i * nv;
             let parent = model.topology().parent(i);
-            for j in bi..nv {
-                let from_parent = parent.map(|p| xup[i].apply_motion(&p_cols[p * nv + j]));
-                if let Some(tp) = from_parent {
-                    // Minv[i, i:] -= D⁻¹ Uᵀ (iX_λ P_λ[:, i:])
+            if let Some(p) = parent {
+                // iX_λ P_λ[:, i:] staged into one contiguous batch so E/r
+                // stay hot across all trailing columns.
+                xup[i].apply_motion_batch(&p_cols[p * nv + bi..p * nv + nv], &mut tp_cols[bi..nv]);
+                for j in bi..nv {
+                    let tp = tp_cols[j];
+                    // Minv[i, i:] -= D⁻¹ Uᵀ (iX_λ P_λ[:, i:]), with the
+                    // Uᵀ dot products hoisted out of the D⁻¹ row loop.
+                    let mut ut = [0.0; 6];
+                    for b in 0..ni {
+                        ut[b] = u_cols[bi + b].dot_motion(&tp);
+                    }
                     for a in 0..ni {
                         let mut acc = 0.0;
                         for b in 0..ni {
-                            acc += d_inv[i][a][b] * u_cols[bi + b].dot_motion(&tp);
+                            acc += d_inv[i][a][b] * ut[b];
                         }
                         minv[(bi + a, j)] -= acc;
                     }
                 }
-                // P_i[:, i:] = S Minv[i, i:] (+ iX_λ P_λ[:, i:])
+            }
+            // P_i[:, i:] = S Minv[i, i:] (+ iX_λ P_λ[:, i:]) — only the
+            // columns some child will read (from its own velocity offset
+            // on); for leaves no P column is ever consumed.
+            for j in first_child_v[i]..nv {
                 let mut pcol = MotionVec::zero();
-                for (a, sa) in s[i].iter().enumerate() {
+                for (a, sa) in s[bi..bi + ni].iter().enumerate() {
                     pcol += *sa * minv[(bi + a, j)];
                 }
-                if let Some(tp) = from_parent {
-                    pcol += tp;
+                if parent.is_some() {
+                    pcol += tp_cols[j];
                 }
                 p_cols[row + j] = pcol;
             }

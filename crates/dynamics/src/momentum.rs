@@ -43,10 +43,8 @@ pub fn spatial_momentum(
     let mut h = ForceVec::zero();
     for i in 0..model.num_bodies() {
         let vo = model.v_offset(i);
-        let mut vj = MotionVec::zero();
-        for (k, s) in ws.s[i].iter().enumerate() {
-            vj += *s * qd[vo + k];
-        }
+        let ni = ws.s_off[i + 1] - ws.s_off[i];
+        let vj = MotionVec::weighted_sum(&ws.s[vo..vo + ni], &qd[vo..vo + ni]);
         let v = match model.topology().parent(i) {
             Some(p) => ws.xup[i].apply_motion(&ws.v[p]) + vj,
             None => vj,
@@ -83,7 +81,7 @@ mod tests {
         let q1 = integrate_config(&model, &q, &qd, dt);
         let h1 = spatial_momentum(&model, &mut ws, &q1, &qd1);
 
-        let dh_lin = (h1.lin - h0.lin) * (1.0 / dt);
+        let dh_lin = (h1.lin() - h0.lin()) * (1.0 / dt);
         let expect_lin = model.gravity * m;
         assert!(
             (dh_lin - expect_lin).max_abs() < 1e-3 * (1.0 + expect_lin.max_abs()),
@@ -92,7 +90,7 @@ mod tests {
 
         // Angular: ḣ_ang = c × (m g) about the world origin.
         let com = center_of_mass(&model, &mut ws, &q);
-        let dh_ang = (h1.ang - h0.ang) * (1.0 / dt);
+        let dh_ang = (h1.ang() - h0.ang()) * (1.0 / dt);
         let expect_ang = com.cross(&(model.gravity * m));
         assert!(
             (dh_ang - expect_ang).max_abs() < 1e-2 * (1.0 + expect_ang.max_abs()),
@@ -140,8 +138,8 @@ mod tests {
         let q = model.neutral_config();
         let c = center_of_mass(&model, &mut ws, &q);
         // Neutral iiwa stands straight up: COM on the z axis, above 0.
-        assert!(c.x.abs() < 1e-9 && c.y.abs() < 1e-9);
-        assert!(c.z > 0.1 && c.z < 1.3);
+        assert!(c.x().abs() < 1e-9 && c.y().abs() < 1e-9);
+        assert!(c.z() > 0.1 && c.z() < 1.3);
         assert!((total_mass(&model) - 17.5).abs() < 1e-9);
     }
 }

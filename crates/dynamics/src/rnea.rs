@@ -90,15 +90,12 @@ pub fn rnea_in_ws(
     // Forward pass: velocities, accelerations, net body forces.
     for i in 0..nb {
         let xup = ws.xup[i];
-        let cols = &ws.s[i];
         let vo = model.v_offset(i);
+        let ni = ws.s_off[i + 1] - ws.s_off[i];
+        let cols = &ws.s[vo..vo + ni];
 
-        let mut vj = MotionVec::zero();
-        let mut aj = MotionVec::zero();
-        for (k, s) in cols.iter().enumerate() {
-            vj += *s * qd[vo + k];
-            aj += *s * qdd[vo + k];
-        }
+        let vj = MotionVec::weighted_sum(cols, &qd[vo..vo + ni]);
+        let aj = MotionVec::weighted_sum(cols, &qdd[vo..vo + ni]);
 
         let (v_par, a_par) = match model.topology().parent(i) {
             Some(p) => (xup.apply_motion(&ws.v[p]), xup.apply_motion(&ws.a[p])),
@@ -122,9 +119,8 @@ pub fn rnea_in_ws(
     // Backward pass: project torques, propagate forces to parents.
     for i in (0..nb).rev() {
         let vo = model.v_offset(i);
-        for (k, s) in ws.s[i].iter().enumerate() {
-            ws.tau[vo + k] = s.dot_force(&ws.f[i]);
-        }
+        let ni = ws.s_off[i + 1] - ws.s_off[i];
+        MotionVec::dot_force_batch(&ws.s[vo..vo + ni], &ws.f[i], &mut ws.tau[vo..vo + ni]);
         if let Some(p) = model.topology().parent(i) {
             let fp = ws.xup[i].inv_apply_force(&ws.f[i]);
             ws.f[p] += fp;

@@ -20,8 +20,12 @@ use rbd_spatial::{ForceVec, Mat6, MatN, MotionVec, SpatialInertia, Xform};
 /// only on the model topology).
 #[derive(Debug, Clone)]
 pub struct DynamicsWorkspace {
-    /// Local (child-frame) motion-subspace columns per body — constant.
-    pub s: Vec<Vec<MotionVec>>,
+    /// Local (child-frame) motion-subspace columns, flat per DOF
+    /// (body `i`'s columns live at `s_off[i]..s_off[i+1]`, which
+    /// coincides with the body's velocity offset) — constant.
+    pub s: Vec<MotionVec>,
+    /// Offsets into [`Self::s`], length `nb + 1`.
+    pub s_off: Vec<usize>,
     /// Parent→child transform `^i X_λi` per body.
     pub xup: Vec<Xform>,
     /// World→body transform `^i X_0` per body.
@@ -68,6 +72,12 @@ pub struct DynamicsWorkspace {
     /// exactly-zero entry in the derivative matrices (branch-induced
     /// sparsity, Fig 5).
     pub rel_dofs: Vec<usize>,
+    /// For each body, the smallest velocity offset among its children
+    /// (`nv` for leaves): the first forward-sweep `P` column any child
+    /// will read. Columns before it are dead and never computed.
+    pub first_child_v: Vec<usize>,
+    /// Owning body of each DOF, length `nv`.
+    pub dof_body: Vec<usize>,
 
     // ------------------------------------------------------------------
     // ΔRNEA scratch (flat, stride `nv` per body).
@@ -78,13 +88,16 @@ pub struct DynamicsWorkspace {
     pub aj_w: Vec<MotionVec>,
     /// World-frame spatial inertia per body.
     pub inertia_w: Vec<SpatialInertia>,
-    /// `∂v_i/∂q_j` table, `nb × nv` flat.
+    /// `∂v_i/∂q_j` table, chain-compacted: body `i`'s entries live at
+    /// `chain_offsets[i]..chain_offsets[i+1]`, one per chain DOF in
+    /// [`Self::chain_dofs`] order. Because `chain(i)` extends
+    /// `chain(parent)` verbatim, a parent's row is index-aligned with the
+    /// first entries of every child's row. (`∂v/∂q̇` needs no table at
+    /// all: it equals the world-frame subspace column `S_j` exactly.)
     pub dv_dq: Vec<MotionVec>,
-    /// `∂v_i/∂q̇_j` table, `nb × nv` flat.
-    pub dv_dqd: Vec<MotionVec>,
-    /// `∂a_i/∂q_j` table, `nb × nv` flat.
+    /// `∂a_i/∂q_j` table, chain-compacted like [`Self::dv_dq`].
     pub da_dq: Vec<MotionVec>,
-    /// `∂a_i/∂q̇_j` table, `nb × nv` flat.
+    /// `∂a_i/∂q̇_j` table, chain-compacted like [`Self::dv_dq`].
     pub da_dqd: Vec<MotionVec>,
     /// Aggregated subtree force `∂q` derivatives, `nb × nv` flat.
     pub df_dq: Vec<ForceVec>,
@@ -108,6 +121,9 @@ pub struct DynamicsWorkspace {
     pub d_inv: Vec<[[f64; 6]; 6]>,
     /// Forward-sweep motion columns `P`, `nb × nv` flat.
     pub p_cols: Vec<MotionVec>,
+    /// Parent-row transform staging for the MMinvGen forward sweep
+    /// (`iX_λ P_λ[:, j]` batch output), length `nv`.
+    pub tp_cols: Vec<MotionVec>,
 
     // ------------------------------------------------------------------
     // Forward-dynamics scratch.
@@ -124,6 +140,11 @@ pub struct DynamicsWorkspace {
     pub zero_qdd: Vec<f64>,
     /// ΔRNEA output scratch for the ΔFD chain (Eq. 3).
     pub did_scratch: RneaDerivatives,
+    /// The configuration `xup`/`xworld` were last computed for — lets
+    /// [`Self::update_kinematics`] skip the trig-heavy recompute when a
+    /// fused pipeline (e.g. ΔFD = MMinvGen + RNEA + ΔRNEA) re-enters with
+    /// the same `q`. Empty until the first call.
+    kin_q: Vec<f64>,
 }
 
 impl DynamicsWorkspace {
@@ -182,10 +203,39 @@ impl DynamicsWorkspace {
             rel_offsets.push(rel_dofs.len());
         }
 
+        let mut s = Vec::with_capacity(nv);
+        let mut s_off = Vec::with_capacity(nb + 1);
+        s_off.push(0);
+        for i in 0..nb {
+            s.extend(model.joint(i).jtype.motion_subspace());
+            s_off.push(s.len());
+        }
+        debug_assert!((0..nb).all(|i| s_off[i] == model.v_offset(i)));
+        let n_chain = chain_dofs.len();
+
+        let first_child_v: Vec<usize> = (0..nb)
+            .map(|i| {
+                model
+                    .topology()
+                    .children(i)
+                    .iter()
+                    .map(|&c| model.v_offset(c))
+                    .min()
+                    .unwrap_or(nv)
+            })
+            .collect();
+
+        let mut dof_body = vec![0usize; nv];
+        for i in 0..nb {
+            let vo = model.v_offset(i);
+            for d in dof_body.iter_mut().skip(vo).take(model.joint(i).jtype.nv()) {
+                *d = i;
+            }
+        }
+
         Self {
-            s: (0..nb)
-                .map(|i| model.joint(i).jtype.motion_subspace())
-                .collect(),
+            s,
+            s_off,
             xup: vec![Xform::identity(); nb],
             xworld: vec![Xform::identity(); nb],
             v: vec![MotionVec::zero(); nb],
@@ -204,13 +254,14 @@ impl DynamicsWorkspace {
             desc_dofs,
             rel_offsets,
             rel_dofs,
+            first_child_v,
+            dof_body,
             vj_w: vec![MotionVec::zero(); nb],
             aj_w: vec![MotionVec::zero(); nb],
             inertia_w: vec![SpatialInertia::zero(); nb],
-            dv_dq: vec![MotionVec::zero(); nb * nv],
-            dv_dqd: vec![MotionVec::zero(); nb * nv],
-            da_dq: vec![MotionVec::zero(); nb * nv],
-            da_dqd: vec![MotionVec::zero(); nb * nv],
+            dv_dq: vec![MotionVec::zero(); n_chain],
+            da_dq: vec![MotionVec::zero(); n_chain],
+            da_dqd: vec![MotionVec::zero(); n_chain],
             df_dq: vec![ForceVec::zero(); nb * nv],
             df_dqd: vec![ForceVec::zero(); nb * nv],
             ia_m: vec![Mat6::zero(); nb],
@@ -220,13 +271,22 @@ impl DynamicsWorkspace {
             u_m_cols: vec![ForceVec::zero(); nv],
             d_inv: vec![[[0.0; 6]; 6]; nb],
             p_cols: vec![MotionVec::zero(); nb * nv],
+            tp_cols: vec![MotionVec::zero(); nv],
             minv_scratch: MatN::zeros(nv, nv),
             mat_scratch_a: MatN::zeros(nv, nv),
             mat_scratch_b: MatN::zeros(nv, nv),
             rhs_scratch: vec![0.0; nv],
             zero_qdd: vec![0.0; nv],
             did_scratch: RneaDerivatives::zeros(nv),
+            kin_q: Vec::with_capacity(model.nq()),
         }
+    }
+
+    /// Body `i`'s motion-subspace columns (a contiguous slice of the
+    /// flat per-DOF table).
+    #[inline]
+    pub fn s_cols(&self, i: usize) -> &[MotionVec] {
+        &self.s[self.s_off[i]..self.s_off[i + 1]]
     }
 
     /// Body `i`'s ancestor+self DOF ids (ascending).
@@ -251,7 +311,17 @@ impl DynamicsWorkspace {
     /// Recomputes `xup` and `xworld` for configuration `q` (forward
     /// kinematics). All dynamics entry points call this themselves; it is
     /// public for use by tests and the accelerator's functional model.
+    ///
+    /// The result is memoized on `q`: a repeat call with a bit-identical
+    /// configuration (the norm inside fused pipelines such as ΔFD, which
+    /// evaluates MMinvGen, RNEA and ΔRNEA at one configuration) returns
+    /// without touching the transforms. The workspace is per-model, so
+    /// the cache is sound as long as one workspace is not shared across
+    /// models — the usage contract this type already documents.
     pub fn update_kinematics(&mut self, model: &RobotModel, q: &[f64]) {
+        if self.kin_q.as_slice() == q {
+            return;
+        }
         for i in 0..model.num_bodies() {
             let xup = model.joint(i).child_xform(model.q_slice(i, q));
             self.xworld[i] = match model.topology().parent(i) {
@@ -260,6 +330,8 @@ impl DynamicsWorkspace {
             };
             self.xup[i] = xup;
         }
+        self.kin_q.clear();
+        self.kin_q.extend_from_slice(q);
     }
 }
 
@@ -273,12 +345,14 @@ mod tests {
     fn sizes_match_model() {
         let m = robots::atlas();
         let ws = DynamicsWorkspace::new(&m);
-        assert_eq!(ws.s.len(), m.num_bodies());
+        assert_eq!(ws.s_off.len(), m.num_bodies() + 1);
         assert_eq!(ws.tau.len(), m.nv());
         assert_eq!(ws.s_world.len(), m.nv());
-        let total_cols: usize = ws.s.iter().map(|s| s.len()).sum();
+        assert_eq!(ws.s.len(), m.nv());
+        let total_cols: usize = (0..m.num_bodies()).map(|i| ws.s_cols(i).len()).sum();
         assert_eq!(total_cols, m.nv());
-        assert_eq!(ws.dv_dq.len(), m.num_bodies() * m.nv());
+        assert_eq!(ws.dv_dq.len(), ws.chain_dofs.len());
+        assert_eq!(ws.da_dq.len(), ws.chain_dofs.len());
         assert_eq!(ws.df_dq.len(), m.num_bodies() * m.nv());
     }
 

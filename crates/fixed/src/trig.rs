@@ -11,6 +11,26 @@ pub const DEFAULT_TERMS: usize = 7;
 /// quadrant range reduction — the loop-unrolled polynomial the Global
 /// Trigonometric Module pipelines.
 ///
+/// Domain behaviour:
+///
+/// * non-finite `x` (NaN, ±∞) returns `(NaN, NaN)`, matching
+///   `f64::sin_cos`;
+/// * the quadrant index is selected with an exact floating-point
+///   `mod 4` instead of an `as i64` cast. The cast *saturates* for
+///   `|x| ≳ 9.2e18` and would silently pick a wrong (but
+///   deterministic-looking) quadrant; the float path is exact for
+///   *every* representable quadrant index: `k/4` is a power-of-two
+///   scaling, `floor` is exact, and the final subtraction of two
+///   nearby same-grid values is exact — so the residue is the true
+///   `k mod 4` (above `2⁵³` spacing makes `k` even, so only residues
+///   0 and 2 occur there; above `2⁵⁴` only 0);
+/// * for `|x| ≳ 2⁵²` neighbouring `f64` values are more than a quadrant
+///   apart, so — as with any double-precision argument reduction — the
+///   phase is meaningless. The reduced argument is clamped to the
+///   evaluation interval, which keeps the result a finite, valid
+///   (sin, cos) pair (`s² + c² ≈ 1`) instead of overflowing the
+///   polynomial into NaN.
+///
 /// # Example
 /// ```
 /// let (s, c) = rbd_fixed::trig::sin_cos_taylor(1.2, rbd_fixed::trig::DEFAULT_TERMS);
@@ -18,12 +38,24 @@ pub const DEFAULT_TERMS: usize = 7;
 /// assert!((c - 1.2f64.cos()).abs() < 1e-12);
 /// ```
 pub fn sin_cos_taylor(x: f64, n_terms: usize) -> (f64, f64) {
+    if !x.is_finite() {
+        return (f64::NAN, f64::NAN);
+    }
     // Range-reduce to r ∈ [-π/4, π/4] with quadrant k: x = r + k·π/2.
     let inv_half_pi = std::f64::consts::FRAC_2_PI;
     let k = (x * inv_half_pi).round();
-    let r = x - k * std::f64::consts::FRAC_PI_2;
+    // Catastrophic cancellation for huge x can leave |r| outside the
+    // reduction interval; clamp so the polynomial stays on its domain.
+    let r = (x - k * std::f64::consts::FRAC_PI_2)
+        .clamp(-std::f64::consts::FRAC_PI_4, std::f64::consts::FRAC_PI_4);
     let (sr, cr) = taylor_core(r, n_terms);
-    match (k as i64).rem_euclid(4) {
+    // k mod 4 evaluated in floating point — exact for every
+    // representable k (k·0.25 is a power-of-two scaling, floor is
+    // exact, and the final subtraction of nearby same-grid values is
+    // exact), unlike the saturating `as i64` cast. Above 2⁵³ the f64
+    // grid spacing makes k even, so only residues 0 and 2 occur there.
+    let km4 = k - (k * 0.25).floor() * 4.0;
+    match km4 as u8 {
         0 => (sr, cr),
         1 => (cr, -sr),
         2 => (-sr, -cr),
@@ -53,10 +85,19 @@ pub fn sin_cos(x: f64) -> (f64, f64) {
 /// Worst-case absolute error of the Taylor unit against `f64::sin_cos`
 /// over `n` evenly spaced points in `[-range, range]` — used by the
 /// accuracy study example.
+///
+/// Degenerate grids are well-defined instead of dividing by zero:
+/// `n == 0` samples nothing and returns `0.0`; `n == 1` collapses the
+/// grid to its single left endpoint `-range`.
 pub fn max_error(n_terms: usize, range: f64, n: usize) -> f64 {
+    let step = if n > 1 {
+        2.0 * range / (n - 1) as f64
+    } else {
+        0.0
+    };
     let mut worst = 0.0_f64;
     for i in 0..n {
-        let x = -range + 2.0 * range * i as f64 / (n - 1) as f64;
+        let x = -range + step * i as f64;
         let (s, c) = sin_cos_taylor(x, n_terms);
         worst = worst.max((s - x.sin()).abs()).max((c - x.cos()).abs());
     }
@@ -108,5 +149,56 @@ mod tests {
         let (s, c) = sin_cos(0.0);
         assert_eq!(s, 0.0);
         assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn non_finite_arguments_yield_nan_pair() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let (s, c) = sin_cos(x);
+            assert!(s.is_nan() && c.is_nan(), "sin_cos({x})");
+        }
+    }
+
+    #[test]
+    fn huge_arguments_stay_on_the_unit_circle() {
+        // Beyond exact-reduction range the phase is meaningless, but the
+        // result must stay a finite valid (sin, cos) pair — no NaN, no
+        // saturating-cast quadrant garbage.
+        for x in [9.3e18, -9.3e18, 1e100, -1e300, 2f64.powi(53), 4.567e250] {
+            let (s, c) = sin_cos(x);
+            assert!(s.is_finite() && c.is_finite(), "sin_cos({x}) = ({s}, {c})");
+            assert!(
+                (s * s + c * c - 1.0).abs() < 1e-9,
+                "sin_cos({x}) off the unit circle: ({s}, {c})"
+            );
+        }
+    }
+
+    #[test]
+    fn quadrant_selection_matches_integer_math_below_saturation() {
+        // The float mod-4 must agree with the exact integer quadrant for
+        // arguments where i64 arithmetic is still exact.
+        for i in [-9, -5, -1, 0, 1, 2, 3, 7, 1002, -1003] {
+            let x = i as f64 * std::f64::consts::FRAC_PI_2 + 0.3;
+            let (s, c) = sin_cos(x);
+            assert!((s - x.sin()).abs() < 1e-10, "sin({x})");
+            assert!((c - x.cos()).abs() < 1e-10, "cos({x})");
+        }
+    }
+
+    #[test]
+    fn max_error_degenerate_grids_are_finite() {
+        // n == 1: single sample at the left endpoint; n == 0: no samples.
+        let e1 = max_error(DEFAULT_TERMS, 1.0, 1);
+        assert!(e1.is_finite());
+        assert!(
+            (e1 - {
+                let (s, c) = sin_cos(-1.0);
+                (s - (-1.0f64).sin()).abs().max((c - (-1.0f64).cos()).abs())
+            })
+            .abs()
+                < 1e-18
+        );
+        assert_eq!(max_error(DEFAULT_TERMS, 1.0, 0), 0.0);
     }
 }

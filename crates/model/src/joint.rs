@@ -177,9 +177,9 @@ impl JointType {
                 let quat = Quat::new(q[3], q[4], q[5], q[6]).normalized();
                 let r = quat.to_rotation_matrix();
                 let dp = r * (Vec3::new(v[3], v[4], v[5]) * dt);
-                q[0] += dp.x;
-                q[1] += dp.y;
-                q[2] += dp.z;
+                q[0] += dp.x();
+                q[1] += dp.y();
+                q[2] += dp.z();
                 let dq = Quat::exp(Vec3::new(v[0], v[1], v[2]) * dt);
                 let out = (quat * dq).normalized();
                 q[3] = out.w;

@@ -36,5 +36,5 @@ pub mod tree;
 
 pub use joint::{Joint, JointType};
 pub use robot::{ModelBuilder, RobotModel};
-pub use state::{integrate_config, random_state, JointPosition, RobotState};
+pub use state::{integrate_config, integrate_config_into, random_state, JointPosition, RobotState};
 pub use tree::Topology;

@@ -41,16 +41,27 @@ pub struct JointPosition<'a> {
 /// # Panics
 /// Panics on mismatched dimensions.
 pub fn integrate_config(model: &RobotModel, q: &[f64], v: &[f64], dt: f64) -> Vec<f64> {
+    let mut out = vec![0.0; q.len()];
+    integrate_config_into(model, q, v, dt, &mut out);
+    out
+}
+
+/// [`integrate_config`] into a caller-provided output slice — the
+/// allocation-free form used by hot integrator loops.
+///
+/// # Panics
+/// Panics on mismatched dimensions.
+pub fn integrate_config_into(model: &RobotModel, q: &[f64], v: &[f64], dt: f64, out: &mut [f64]) {
     assert_eq!(q.len(), model.nq());
     assert_eq!(v.len(), model.nv());
-    let mut out = q.to_vec();
+    assert_eq!(out.len(), model.nq());
+    out.copy_from_slice(q);
     for i in 0..model.num_bodies() {
         let jt = &model.joint(i).jtype;
         let qo = model.q_offset(i);
         let vo = model.v_offset(i);
         jt.integrate(&mut out[qo..qo + jt.nq()], &v[vo..vo + jt.nv()], dt);
     }
-    out
 }
 
 /// Deterministic pseudo-random state generator (xorshift-based; no

@@ -28,7 +28,7 @@
 //! let x = Xform::rot_z(std::f64::consts::FRAC_PI_2).with_translation(Vec3::new(1.0, 0.0, 0.0));
 //! let v = MotionVec::new(Vec3::new(0.0, 0.0, 1.0), Vec3::zero());
 //! let vb = x.apply_motion(&v);
-//! assert!((vb.ang.z - 1.0).abs() < 1e-12);
+//! assert!((vb.ang().z() - 1.0).abs() < 1e-12);
 //! ```
 
 pub mod inertia;

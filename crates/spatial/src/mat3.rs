@@ -1,22 +1,48 @@
-//! 3×3 matrices.
+//! 3×3 matrices on flat array backing.
 
 use crate::Vec3;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
 
-/// A dense, row-major 3×3 matrix of `f64`.
+/// A dense 3×3 matrix of `f64`, backed by a flat row-major `[f64; 9]` so
+/// the product kernels below are branch-free unrolled multiply–add
+/// chains over one contiguous array.
 ///
 /// # Example
 /// ```
 /// use rbd_spatial::{Mat3, Vec3};
 /// let r = Mat3::rotation_z(std::f64::consts::FRAC_PI_2);
 /// let v = r * Vec3::unit_x();
-/// assert!((v.y - 1.0).abs() < 1e-12);
+/// assert!((v.y() - 1.0).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mat3 {
-    /// Row-major entries `m[row][col]`.
-    pub m: [[f64; 3]; 3],
+    /// Row-major entries; `m[3 * row + col]`.
+    pub(crate) m: [f64; 9],
+}
+
+/// Flat row-major 3×3 product `a · b` (27 unrolled multiply–adds).
+#[inline(always)]
+pub(crate) fn mul3(a: &[f64; 9], b: &[f64; 9]) -> [f64; 9] {
+    let mut out = [0.0; 9];
+    for i in 0..3 {
+        for j in 0..3 {
+            out[3 * i + j] = a[3 * i] * b[j] + a[3 * i + 1] * b[3 + j] + a[3 * i + 2] * b[6 + j];
+        }
+    }
+    out
+}
+
+/// Flat row-major 3×3 product `aᵀ · b` (transposed left operand).
+#[inline(always)]
+pub(crate) fn mul3_tn(a: &[f64; 9], b: &[f64; 9]) -> [f64; 9] {
+    let mut out = [0.0; 9];
+    for i in 0..3 {
+        for j in 0..3 {
+            out[3 * i + j] = a[i] * b[j] + a[3 + i] * b[3 + j] + a[6 + i] * b[6 + j];
+        }
+    }
+    out
 }
 
 impl Default for Mat3 {
@@ -28,51 +54,69 @@ impl Default for Mat3 {
 impl Mat3 {
     /// Builds a matrix from row-major entries.
     #[inline]
-    pub const fn from_rows(m: [[f64; 3]; 3]) -> Self {
+    pub const fn from_rows(rows: [[f64; 3]; 3]) -> Self {
+        Self {
+            m: [
+                rows[0][0], rows[0][1], rows[0][2], rows[1][0], rows[1][1], rows[1][2], rows[2][0],
+                rows[2][1], rows[2][2],
+            ],
+        }
+    }
+
+    /// Builds a matrix from its flat row-major entries.
+    #[inline(always)]
+    pub const fn from_flat(m: [f64; 9]) -> Self {
         Self { m }
+    }
+
+    /// Borrows the flat row-major entries (`m[3·row + col]`).
+    #[inline(always)]
+    pub const fn as_array(&self) -> &[f64; 9] {
+        &self.m
     }
 
     /// The zero matrix.
     #[inline]
     pub const fn zero() -> Self {
-        Self::from_rows([[0.0; 3]; 3])
+        Self { m: [0.0; 9] }
     }
 
     /// The identity matrix.
     #[inline]
     pub const fn identity() -> Self {
-        Self::from_rows([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        Self::from_flat([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0])
     }
 
     /// Diagonal matrix with entries `d`.
     #[inline]
     pub fn diagonal(d: Vec3) -> Self {
-        Self::from_rows([[d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z]])
+        Self::from_flat([d.x(), 0.0, 0.0, 0.0, d.y(), 0.0, 0.0, 0.0, d.z()])
     }
 
     /// Skew-symmetric cross-product matrix `v×` such that `(v×) w = v.cross(w)`.
-    #[inline]
+    #[inline(always)]
     pub fn skew(v: Vec3) -> Self {
-        Self::from_rows([[0.0, -v.z, v.y], [v.z, 0.0, -v.x], [-v.y, v.x, 0.0]])
+        let [x, y, z] = *v.as_array();
+        Self::from_flat([0.0, -z, y, z, 0.0, -x, -y, x, 0.0])
     }
 
     /// Active rotation about the X axis by `theta` (radians): `R_x(θ) v`
     /// rotates `v` by `θ` around X.
     pub fn rotation_x(theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
-        Self::from_rows([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+        Self::from_flat([1.0, 0.0, 0.0, 0.0, c, -s, 0.0, s, c])
     }
 
     /// Active rotation about the Y axis by `theta` (radians).
     pub fn rotation_y(theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
-        Self::from_rows([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+        Self::from_flat([c, 0.0, s, 0.0, 1.0, 0.0, -s, 0.0, c])
     }
 
     /// Active rotation about the Z axis by `theta` (radians).
     pub fn rotation_z(theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
-        Self::from_rows([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+        Self::from_flat([c, -s, 0.0, s, c, 0.0, 0.0, 0.0, 1.0])
     }
 
     /// Active rotation of angle `theta` about an arbitrary unit `axis`
@@ -90,40 +134,35 @@ impl Mat3 {
     }
 
     /// Returns the transpose.
-    #[inline]
+    #[inline(always)]
     pub fn transpose(&self) -> Self {
         let m = &self.m;
-        Self::from_rows([
-            [m[0][0], m[1][0], m[2][0]],
-            [m[0][1], m[1][1], m[2][1]],
-            [m[0][2], m[1][2], m[2][2]],
-        ])
+        Self::from_flat([m[0], m[3], m[6], m[1], m[4], m[7], m[2], m[5], m[8]])
     }
 
     /// Returns row `i` as a vector.
-    #[inline]
+    #[inline(always)]
     pub fn row(&self, i: usize) -> Vec3 {
-        Vec3::new(self.m[i][0], self.m[i][1], self.m[i][2])
+        Vec3::new(self.m[3 * i], self.m[3 * i + 1], self.m[3 * i + 2])
     }
 
     /// Returns column `j` as a vector.
-    #[inline]
+    #[inline(always)]
     pub fn col(&self, j: usize) -> Vec3 {
-        Vec3::new(self.m[0][j], self.m[1][j], self.m[2][j])
+        Vec3::new(self.m[j], self.m[3 + j], self.m[6 + j])
     }
 
     /// Matrix trace.
     #[inline]
     pub fn trace(&self) -> f64 {
-        self.m[0][0] + self.m[1][1] + self.m[2][2]
+        self.m[0] + self.m[4] + self.m[8]
     }
 
     /// Determinant.
     pub fn det(&self) -> f64 {
         let m = &self.m;
-        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
-            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
-            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+        m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6])
+            + m[2] * (m[3] * m[7] - m[4] * m[6])
     }
 
     /// Inverse via the adjugate.
@@ -135,7 +174,7 @@ impl Mat3 {
         assert!(d.abs() > 1e-300, "Mat3::inverse: singular matrix");
         let m = &self.m;
         let inv = |r1: usize, c1: usize, r2: usize, c2: usize| {
-            m[r1][c1] * m[r2][c2] - m[r1][c2] * m[r2][c1]
+            m[3 * r1 + c1] * m[3 * r2 + c2] - m[3 * r1 + c2] * m[3 * r2 + c1]
         };
         Self::from_rows([
             [
@@ -156,12 +195,28 @@ impl Mat3 {
         ])
     }
 
+    /// Transposed product `selfᵀ · rhs` without materializing the
+    /// transpose.
+    #[inline(always)]
+    pub fn tr_mul(&self, rhs: &Mat3) -> Mat3 {
+        Mat3::from_flat(mul3_tn(&self.m, &rhs.m))
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · v`.
+    #[inline(always)]
+    pub fn tr_mul_vec(&self, v: &Vec3) -> Vec3 {
+        let m = &self.m;
+        let [x, y, z] = *v.as_array();
+        Vec3::new(
+            m[0] * x + m[3] * y + m[6] * z,
+            m[1] * x + m[4] * y + m[7] * z,
+            m[2] * x + m[5] * y + m[8] * z,
+        )
+    }
+
     /// Maximum absolute entry.
     pub fn max_abs(&self) -> f64 {
-        self.m
-            .iter()
-            .flatten()
-            .fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+        self.m.iter().fold(0.0_f64, |acc, &x| acc.max(x.abs()))
     }
 
     /// `true` when `‖self - selfᵀ‖∞ ≤ tol`.
@@ -172,8 +227,14 @@ impl Mat3 {
 
 impl fmt::Display for Mat3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for r in &self.m {
-            writeln!(f, "[{:10.6} {:10.6} {:10.6}]", r[0], r[1], r[2])?;
+        for r in 0..3 {
+            writeln!(
+                f,
+                "[{:10.6} {:10.6} {:10.6}]",
+                self.m[3 * r],
+                self.m[3 * r + 1],
+                self.m[3 * r + 2]
+            )?;
         }
         Ok(())
     }
@@ -181,18 +242,18 @@ impl fmt::Display for Mat3 {
 
 impl Add for Mat3 {
     type Output = Mat3;
+    #[inline]
     fn add(self, rhs: Mat3) -> Mat3 {
-        let mut out = Mat3::zero();
-        for i in 0..3 {
-            for j in 0..3 {
-                out.m[i][j] = self.m[i][j] + rhs.m[i][j];
-            }
+        let mut out = self;
+        for (o, r) in out.m.iter_mut().zip(&rhs.m) {
+            *o += r;
         }
         out
     }
 }
 
 impl AddAssign for Mat3 {
+    #[inline]
     fn add_assign(&mut self, rhs: Mat3) {
         *self = *self + rhs;
     }
@@ -200,12 +261,11 @@ impl AddAssign for Mat3 {
 
 impl Sub for Mat3 {
     type Output = Mat3;
+    #[inline]
     fn sub(self, rhs: Mat3) -> Mat3 {
-        let mut out = Mat3::zero();
-        for i in 0..3 {
-            for j in 0..3 {
-                out.m[i][j] = self.m[i][j] - rhs.m[i][j];
-            }
+        let mut out = self;
+        for (o, r) in out.m.iter_mut().zip(&rhs.m) {
+            *o -= r;
         }
         out
     }
@@ -220,12 +280,11 @@ impl Neg for Mat3 {
 
 impl Mul<f64> for Mat3 {
     type Output = Mat3;
+    #[inline]
     fn mul(self, s: f64) -> Mat3 {
         let mut out = self;
-        for r in out.m.iter_mut() {
-            for x in r.iter_mut() {
-                *x *= s;
-            }
+        for x in out.m.iter_mut() {
+            *x *= s;
         }
         out
     }
@@ -233,45 +292,38 @@ impl Mul<f64> for Mat3 {
 
 impl Mul<Vec3> for Mat3 {
     type Output = Vec3;
-    #[inline]
+    #[inline(always)]
     fn mul(self, v: Vec3) -> Vec3 {
+        let m = &self.m;
+        let [x, y, z] = *v.as_array();
         Vec3::new(
-            self.row(0).dot(&v),
-            self.row(1).dot(&v),
-            self.row(2).dot(&v),
+            m[0] * x + m[1] * y + m[2] * z,
+            m[3] * x + m[4] * y + m[5] * z,
+            m[6] * x + m[7] * y + m[8] * z,
         )
     }
 }
 
 impl Mul<Mat3> for Mat3 {
     type Output = Mat3;
+    #[inline(always)]
     fn mul(self, rhs: Mat3) -> Mat3 {
-        let mut out = Mat3::zero();
-        for i in 0..3 {
-            for j in 0..3 {
-                let mut s = 0.0;
-                for (k, rhs_row) in rhs.m.iter().enumerate() {
-                    s += self.m[i][k] * rhs_row[j];
-                }
-                out.m[i][j] = s;
-            }
-        }
-        out
+        Mat3::from_flat(mul3(&self.m, &rhs.m))
     }
 }
 
 impl Index<(usize, usize)> for Mat3 {
     type Output = f64;
-    #[inline]
+    #[inline(always)]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        &self.m[i][j]
+        &self.m[3 * i + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Mat3 {
-    #[inline]
+    #[inline(always)]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        &mut self.m[i][j]
+        &mut self.m[3 * i + j]
     }
 }
 
@@ -335,5 +387,14 @@ mod tests {
         assert_eq!(a.row(1), Vec3::new(4.0, 5.0, 6.0));
         assert_eq!(a.col(2), Vec3::new(3.0, 6.0, 9.0));
         assert_eq!(a[(2, 0)], 7.0);
+    }
+
+    #[test]
+    fn transposed_products_match_explicit_transpose() {
+        let a = Mat3::from_rows([[1.0, 2.0, 3.0], [-4.0, 5.0, 6.0], [7.0, 0.5, 9.0]]);
+        let b = Mat3::from_rows([[0.3, -1.0, 2.0], [1.0, 4.0, -0.2], [0.7, 0.1, 1.5]]);
+        let v = Vec3::new(0.4, -0.7, 1.1);
+        assert!((a.tr_mul(&b) - a.transpose() * b).max_abs() < 1e-15);
+        assert!((a.tr_mul_vec(&v) - a.transpose() * v).max_abs() < 1e-15);
     }
 }

@@ -1,10 +1,12 @@
 //! Dense 6×6 matrices (articulated-body inertias, transform matrices).
 
+use crate::mat3::{mul3, mul3_tn};
 use crate::{ForceVec, MotionVec, Xform};
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
 
-/// A dense row-major 6×6 matrix.
+/// A dense 6×6 matrix backed by a flat row-major `[f64; 36]`
+/// (`m[6·row + col]`).
 ///
 /// The blocks follow the spatial layout: rows/columns 0-2 are angular,
 /// 3-5 linear. Articulated-body inertias and the dense form of Plücker
@@ -19,8 +21,7 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mat6 {
-    /// Row-major entries.
-    pub m: [[f64; 6]; 6],
+    pub(crate) m: [f64; 36],
 }
 
 impl Default for Mat6 {
@@ -32,35 +33,57 @@ impl Default for Mat6 {
 impl Mat6 {
     /// Builds from row-major entries.
     #[inline]
-    pub const fn from_rows(m: [[f64; 6]; 6]) -> Self {
+    pub const fn from_rows(rows: [[f64; 6]; 6]) -> Self {
+        let mut m = [0.0; 36];
+        let mut i = 0;
+        while i < 6 {
+            let mut j = 0;
+            while j < 6 {
+                m[6 * i + j] = rows[i][j];
+                j += 1;
+            }
+            i += 1;
+        }
         Self { m }
+    }
+
+    /// Builds from flat row-major entries (`m[6·row + col]`).
+    #[inline(always)]
+    pub const fn from_flat(m: [f64; 36]) -> Self {
+        Self { m }
+    }
+
+    /// Borrows the flat row-major entries.
+    #[inline(always)]
+    pub const fn as_array(&self) -> &[f64; 36] {
+        &self.m
     }
 
     /// The zero matrix.
     #[inline]
     pub const fn zero() -> Self {
-        Self::from_rows([[0.0; 6]; 6])
+        Self { m: [0.0; 36] }
     }
 
     /// The identity matrix.
     pub fn identity() -> Self {
         let mut out = Self::zero();
         for i in 0..6 {
-            out.m[i][i] = 1.0;
+            out.m[7 * i] = 1.0;
         }
         out
     }
 
     /// The motion-vector matrix `[E 0; -E r× E]` of a Plücker transform.
     pub fn from_xform_motion(x: &Xform) -> Self {
-        let e = x.rot;
-        let erx = e * crate::Mat3::skew(x.trans);
+        let e = &x.rot.m;
+        let erx = mul3(e, &crate::Mat3::skew(x.trans).m);
         let mut out = Self::zero();
         for i in 0..3 {
             for j in 0..3 {
-                out.m[i][j] = e.m[i][j];
-                out.m[i + 3][j + 3] = e.m[i][j];
-                out.m[i + 3][j] = -erx.m[i][j];
+                out.m[6 * i + j] = e[3 * i + j];
+                out.m[6 * (i + 3) + j + 3] = e[3 * i + j];
+                out.m[6 * (i + 3) + j] = -erx[3 * i + j];
             }
         }
         out
@@ -71,19 +94,21 @@ impl Mat6 {
         let mut out = Self::zero();
         for i in 0..6 {
             for j in 0..6 {
-                out.m[j][i] = self.m[i][j];
+                out.m[6 * j + i] = self.m[6 * i + j];
             }
         }
         out
     }
 
     /// Matrix × motion vector (inertia application when `self` is an
-    /// articulated inertia: the result is a force).
+    /// articulated inertia: the result is a force) — a fully unrolled
+    /// 36-term multiply–add chain over the flat backing.
+    #[inline(always)]
     pub fn mul_motion_to_force(&self, v: &MotionVec) -> ForceVec {
-        let a = v.to_array();
+        let a = v.as_array();
         let mut out = [0.0; 6];
         for (i, o) in out.iter_mut().enumerate() {
-            let row = &self.m[i];
+            let row = &self.m[6 * i..6 * i + 6];
             *o = row[0] * a[0]
                 + row[1] * a[1]
                 + row[2] * a[2]
@@ -91,14 +116,27 @@ impl Mat6 {
                 + row[4] * a[4]
                 + row[5] * a[5];
         }
-        ForceVec::from_slice(&out)
+        ForceVec::from_array(out)
+    }
+
+    /// Batched [`Self::mul_motion_to_force`]: `out[k] = self · vs[k]`
+    /// (the `U = IA·S` columns of the articulated sweeps), keeping the
+    /// matrix hot across the whole batch.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != vs.len()`.
+    #[inline]
+    pub fn mul_motion_to_force_batch(&self, vs: &[MotionVec], out: &mut [ForceVec]) {
+        assert_eq!(vs.len(), out.len(), "mul_motion_to_force_batch length");
+        for (o, v) in out.iter_mut().zip(vs) {
+            *o = self.mul_motion_to_force(v);
+        }
     }
 
     /// Matrix × motion vector, returning a motion vector (transform
     /// application when `self` is a Plücker motion matrix).
     pub fn mul_motion(&self, v: &MotionVec) -> MotionVec {
-        let f = self.mul_motion_to_force(v);
-        MotionVec::new(f.ang, f.lin)
+        MotionVec::from_array(self.mul_motion_to_force(v).to_array())
     }
 
     /// Congruence transform `Xᵀ · self · X` used to shift articulated
@@ -107,23 +145,150 @@ impl Mat6 {
         x6.transpose() * (*self * *x6)
     }
 
+    /// [`Self::congruence`] with the transform given directly as a
+    /// Plücker [`Xform`], evaluated analytically on the `[E 0; B E]`
+    /// block structure (`B = -E r×`) — twelve dense 3×3 products instead
+    /// of two zero-laden 6×6 products, with no `Mat6` temporaries.
+    ///
+    /// Agrees with `congruence(&Mat6::from_xform_motion(x))` to rounding
+    /// error (the summation order differs).
+    pub fn congruence_xform(&self, x: &Xform) -> Self {
+        let mut out = Self::zero();
+        self.add_congruence_xform(x, &mut out);
+        out
+    }
+
+    /// Fused `dest += Xᵀ · self · X` — the accumulation form used by the
+    /// leaf-to-root composite/articulated inertia sweeps.
+    pub fn add_congruence_xform(&self, x: &Xform, dest: &mut Mat6) {
+        let e = &x.rot.m;
+        let b = {
+            let mut erx = mul3(e, &crate::Mat3::skew(x.trans).m);
+            for v in erx.iter_mut() {
+                *v = -*v;
+            }
+            erx
+        };
+        // 3×3 blocks of self: [A C; D F].
+        let mut a = [0.0; 9];
+        let mut c = [0.0; 9];
+        let mut d = [0.0; 9];
+        let mut f = [0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                a[3 * i + j] = self.m[6 * i + j];
+                c[3 * i + j] = self.m[6 * i + j + 3];
+                d[3 * i + j] = self.m[6 * (i + 3) + j];
+                f[3 * i + j] = self.m[6 * (i + 3) + j + 3];
+            }
+        }
+        // T = self · X.
+        let t11 = add9(&mul3(&a, e), &mul3(&c, &b));
+        let t12 = mul3(&c, e);
+        let t21 = add9(&mul3(&d, e), &mul3(&f, &b));
+        let t22 = mul3(&f, e);
+        // Y = Xᵀ · T.
+        let y11 = add9(&mul3_tn(e, &t11), &mul3_tn(&b, &t21));
+        let y12 = add9(&mul3_tn(e, &t12), &mul3_tn(&b, &t22));
+        let y21 = mul3_tn(e, &t21);
+        let y22 = mul3_tn(e, &t22);
+        for i in 0..3 {
+            for j in 0..3 {
+                dest.m[6 * i + j] += y11[3 * i + j];
+                dest.m[6 * i + j + 3] += y12[3 * i + j];
+                dest.m[6 * (i + 3) + j] += y21[3 * i + j];
+                dest.m[6 * (i + 3) + j + 3] += y22[3 * i + j];
+            }
+        }
+    }
+
+    /// [`Self::add_congruence_xform`] specialised to a **symmetric**
+    /// `self` (articulated/composite inertias): the congruence of a
+    /// symmetric matrix is symmetric, so the upper-right result block is
+    /// produced as the transpose of the lower-left one — nine 3×3
+    /// products instead of twelve.
+    ///
+    /// For an input that is symmetric only up to rounding, the result is
+    /// the congruence of its symmetric part to within machine precision
+    /// (the asymmetric residual of the upper-right block is discarded).
+    pub fn add_congruence_xform_sym(&self, x: &Xform, dest: &mut Mat6) {
+        let e = &x.rot.m;
+        let b = {
+            let mut erx = mul3(e, &crate::Mat3::skew(x.trans).m);
+            for v in erx.iter_mut() {
+                *v = -*v;
+            }
+            erx
+        };
+        // 3×3 blocks of self: [A C; D F] with C = Dᵀ (symmetry).
+        let mut a = [0.0; 9];
+        let mut c = [0.0; 9];
+        let mut d = [0.0; 9];
+        let mut f = [0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                a[3 * i + j] = self.m[6 * i + j];
+                c[3 * i + j] = self.m[6 * i + j + 3];
+                d[3 * i + j] = self.m[6 * (i + 3) + j];
+                f[3 * i + j] = self.m[6 * (i + 3) + j + 3];
+            }
+        }
+        let t11 = add9(&mul3(&a, e), &mul3(&c, &b));
+        let t21 = add9(&mul3(&d, e), &mul3(&f, &b));
+        let t22 = mul3(&f, e);
+        let y11 = add9(&mul3_tn(e, &t11), &mul3_tn(&b, &t21));
+        let y21 = mul3_tn(e, &t21);
+        let y22 = mul3_tn(e, &t22);
+        for i in 0..3 {
+            for j in 0..3 {
+                dest.m[6 * i + j] += y11[3 * i + j];
+                dest.m[6 * i + j + 3] += y21[3 * j + i]; // Y12 = Y21ᵀ
+                dest.m[6 * (i + 3) + j] += y21[3 * i + j];
+                dest.m[6 * (i + 3) + j + 3] += y22[3 * i + j];
+            }
+        }
+    }
+
     /// Rank-one update `self - u uᵀ / d` used by ABA-style factorizations.
     /// `u` is a force-layout 6-vector.
     pub fn sub_outer_scaled(&mut self, u: &ForceVec, inv_d: f64) {
-        let ua = u.to_array();
+        let ua = u.as_array();
         for i in 0..6 {
             for j in 0..6 {
-                self.m[i][j] -= ua[i] * ua[j] * inv_d;
+                self.m[6 * i + j] -= ua[i] * ua[j] * inv_d;
+            }
+        }
+    }
+
+    /// Fused rank-`k` update `self -= U · W · Uᵀ` over force-layout
+    /// columns `U` with weights `w(a, b)` — the `IA - U D⁻¹ Uᵀ`
+    /// articulated-inertia step of ABA/MMinvGen, evaluated in one pass so
+    /// the columns stay in registers.
+    ///
+    /// Weight lookups returning exactly `0.0` are skipped (branch
+    /// sparsity of block-diagonal `D⁻¹`).
+    #[inline]
+    pub fn sub_outer_weighted(&mut self, u: &[ForceVec], w: impl Fn(usize, usize) -> f64) {
+        for (a, ua) in u.iter().enumerate() {
+            for (b, ub) in u.iter().enumerate() {
+                let wab = w(a, b);
+                if wab == 0.0 {
+                    continue;
+                }
+                let ua = ua.as_array();
+                let ub = ub.as_array();
+                for r in 0..6 {
+                    for c in 0..6 {
+                        self.m[6 * r + c] -= ua[r] * wab * ub[c];
+                    }
+                }
             }
         }
     }
 
     /// Maximum absolute entry.
     pub fn max_abs(&self) -> f64 {
-        self.m
-            .iter()
-            .flatten()
-            .fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+        self.m.iter().fold(0.0_f64, |acc, &x| acc.max(x.abs()))
     }
 
     /// `true` when `‖self - selfᵀ‖∞ ≤ tol`.
@@ -132,14 +297,22 @@ impl Mat6 {
     }
 }
 
+/// Element-wise sum of two flat 3×3 blocks.
+#[inline(always)]
+fn add9(a: &[f64; 9], b: &[f64; 9]) -> [f64; 9] {
+    let mut out = *a;
+    for (o, x) in out.iter_mut().zip(b) {
+        *o += x;
+    }
+    out
+}
+
 impl Add for Mat6 {
     type Output = Mat6;
     fn add(self, r: Mat6) -> Mat6 {
         let mut out = self;
-        for i in 0..6 {
-            for j in 0..6 {
-                out.m[i][j] += r.m[i][j];
-            }
+        for (o, x) in out.m.iter_mut().zip(&r.m) {
+            *o += x;
         }
         out
     }
@@ -147,7 +320,9 @@ impl Add for Mat6 {
 
 impl AddAssign for Mat6 {
     fn add_assign(&mut self, r: Mat6) {
-        *self = *self + r;
+        for (o, x) in self.m.iter_mut().zip(&r.m) {
+            *o += x;
+        }
     }
 }
 
@@ -155,10 +330,8 @@ impl Sub for Mat6 {
     type Output = Mat6;
     fn sub(self, r: Mat6) -> Mat6 {
         let mut out = self;
-        for i in 0..6 {
-            for j in 0..6 {
-                out.m[i][j] -= r.m[i][j];
-            }
+        for (o, x) in out.m.iter_mut().zip(&r.m) {
+            *o -= x;
         }
         out
     }
@@ -166,7 +339,9 @@ impl Sub for Mat6 {
 
 impl SubAssign for Mat6 {
     fn sub_assign(&mut self, r: Mat6) {
-        *self = *self - r;
+        for (o, x) in self.m.iter_mut().zip(&r.m) {
+            *o -= x;
+        }
     }
 }
 
@@ -174,10 +349,8 @@ impl Mul<f64> for Mat6 {
     type Output = Mat6;
     fn mul(self, s: f64) -> Mat6 {
         let mut out = self;
-        for r in out.m.iter_mut() {
-            for x in r.iter_mut() {
-                *x *= s;
-            }
+        for x in out.m.iter_mut() {
+            *x *= s;
         }
         out
     }
@@ -189,12 +362,14 @@ impl Mul<Mat6> for Mat6 {
         let mut out = Mat6::zero();
         for i in 0..6 {
             for k in 0..6 {
-                let a = self.m[i][k];
+                let a = self.m[6 * i + k];
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..6 {
-                    out.m[i][j] += a * rhs.m[k][j];
+                let b_row = &rhs.m[6 * k..6 * k + 6];
+                let out_row = &mut out.m[6 * i..6 * i + 6];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
                 }
             }
         }
@@ -204,26 +379,27 @@ impl Mul<Mat6> for Mat6 {
 
 impl Index<(usize, usize)> for Mat6 {
     type Output = f64;
-    #[inline]
+    #[inline(always)]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        &self.m[i][j]
+        &self.m[6 * i + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Mat6 {
-    #[inline]
+    #[inline(always)]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        &mut self.m[i][j]
+        &mut self.m[6 * i + j]
     }
 }
 
 impl fmt::Display for Mat6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for r in &self.m {
+        for r in 0..6 {
+            let row = &self.m[6 * r..6 * r + 6];
             writeln!(
                 f,
                 "[{:9.4} {:9.4} {:9.4} {:9.4} {:9.4} {:9.4}]",
-                r[0], r[1], r[2], r[3], r[4], r[5]
+                row[0], row[1], row[2], row[3], row[4], row[5]
             )?;
         }
         Ok(())
@@ -253,9 +429,9 @@ mod tests {
         let m6 = Mat6::from_xform_motion(&x).transpose();
         let f = ForceVec::from_slice(&[0.1, 0.9, -0.4, 2.0, 0.3, 0.6]);
         let lhs = {
-            let fm = MotionVec::new(f.ang, f.lin);
+            let fm = MotionVec::new(f.ang(), f.lin());
             let out = m6.mul_motion(&fm);
-            ForceVec::new(out.ang, out.lin)
+            ForceVec::new(out.ang(), out.lin())
         };
         let rhs = x.inv_apply_force(&f);
         assert!((lhs - rhs).max_abs() < 1e-12);
@@ -264,9 +440,9 @@ mod tests {
     #[test]
     fn congruence_preserves_symmetry() {
         let mut s = Mat6::identity();
-        s.m[0][3] = 0.5;
-        s.m[3][0] = 0.5;
-        s.m[1][1] = 4.0;
+        s[(0, 3)] = 0.5;
+        s[(3, 0)] = 0.5;
+        s[(1, 1)] = 4.0;
         let x =
             Mat6::from_xform_motion(&Xform::rot_z(1.2).with_translation(Vec3::new(0.0, 1.0, 0.5)));
         let t = s.congruence(&x);
@@ -274,14 +450,74 @@ mod tests {
     }
 
     #[test]
+    fn congruence_xform_matches_dense() {
+        let x = Xform::rot_axis(Vec3::new(0.4, -0.2, 0.9).normalized(), 0.77)
+            .with_translation(Vec3::new(0.3, -0.8, 0.2));
+        // A generic (not even symmetric) matrix: the block evaluation must
+        // agree with the dense congruence for arbitrary input.
+        let mut s = Mat6::zero();
+        for i in 0..6 {
+            for j in 0..6 {
+                s[(i, j)] = 0.1 * (i * 6 + j) as f64 - 0.7 + if i == j { 3.0 } else { 0.0 };
+            }
+        }
+        let dense = s.congruence(&Mat6::from_xform_motion(&x));
+        let fast = s.congruence_xform(&x);
+        assert!((dense - fast).max_abs() < 1e-12 * (1.0 + dense.max_abs()));
+
+        // The accumulate form adds on top of existing content.
+        let mut acc = Mat6::identity();
+        s.add_congruence_xform(&x, &mut acc);
+        assert!((acc - (fast + Mat6::identity())).max_abs() < 1e-15);
+    }
+
+    #[test]
     fn rank_one_update() {
         let mut a = Mat6::identity();
         let u = ForceVec::from_slice(&[1.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
         a.sub_outer_scaled(&u, 0.5);
-        assert!((a.m[0][0] - 0.5).abs() < 1e-15);
-        assert!((a.m[0][5] + 1.0).abs() < 1e-15);
-        assert!((a.m[5][5] + 1.0).abs() < 1e-15);
+        assert!((a[(0, 0)] - 0.5).abs() < 1e-15);
+        assert!((a[(0, 5)] + 1.0).abs() < 1e-15);
+        assert!((a[(5, 5)] + 1.0).abs() < 1e-15);
         assert!(a.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn weighted_rank_k_matches_reference_loop() {
+        let u = [
+            ForceVec::from_slice(&[1.0, 0.5, -0.2, 0.3, 0.0, 2.0]),
+            ForceVec::from_slice(&[-0.4, 1.5, 0.2, 0.0, 0.7, -0.3]),
+        ];
+        let dinv = [[2.0, 0.5], [0.5, 1.2]];
+        let mut fast = Mat6::identity();
+        fast.sub_outer_weighted(&u, |a, b| dinv[a][b]);
+        let mut slow = Mat6::identity();
+        for a in 0..2 {
+            for b in 0..2 {
+                let ua = u[a].to_array();
+                let ub = u[b].to_array();
+                for r in 0..6 {
+                    for c in 0..6 {
+                        slow[(r, c)] -= ua[r] * dinv[a][b] * ub[c];
+                    }
+                }
+            }
+        }
+        assert_eq!(fast.as_array(), slow.as_array());
+    }
+
+    #[test]
+    fn batched_apply_matches_scalar() {
+        let x = Xform::rot_x(0.3).with_translation(Vec3::new(1.0, 2.0, 3.0));
+        let m6 = Mat6::from_xform_motion(&x);
+        let vs: Vec<MotionVec> = (0..5)
+            .map(|k| MotionVec::from_slice(&[0.1 * k as f64, -0.2, 0.3, 0.4, 0.5 - k as f64, 0.6]))
+            .collect();
+        let mut out = vec![ForceVec::zero(); 5];
+        m6.mul_motion_to_force_batch(&vs, &mut out);
+        for (v, o) in vs.iter().zip(&out) {
+            assert_eq!(o.to_array(), m6.mul_motion_to_force(v).to_array());
+        }
     }
 
     #[test]

@@ -345,6 +345,59 @@ impl MatN {
         }
     }
 
+    /// Row `i` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.rows()`.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.rows()`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transposed product `out = s · (selfᵀ · b)` without materializing
+    /// `selfᵀ`: the k-outer loop reads `self` and `b` row-major and
+    /// issues one scaled-row accumulation per non-zero of `self`, so a
+    /// branch-sparse left operand (e.g. `∂τᵀ`, Fig 5) skips its zero
+    /// blocks exactly like [`Self::mul_mat_into`] after a transpose —
+    /// with bit-identical results (same multiply pairs, same k-ascending
+    /// summation order; the sign `s` distributes exactly over IEEE
+    /// products).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch (`out` must be `self.cols × b.cols`).
+    pub fn tr_mul_mat_scaled_into(&self, b: &MatN, s: f64, out: &mut MatN) {
+        assert_eq!(self.rows, b.rows, "MatN::tr_mul_mat_scaled_into shape");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, b.cols),
+            "MatN::tr_mul_mat_scaled_into output shape"
+        );
+        out.data.fill(0.0);
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &b.data[k * b.cols..(k + 1) * b.cols];
+            for (j, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let c = s * a;
+                let out_row = &mut out.data[j * b.cols..(j + 1) * b.cols];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += c * bv;
+                }
+            }
+        }
+    }
+
     /// Transpose written into `out` (no allocation).
     ///
     /// # Panics

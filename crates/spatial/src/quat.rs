@@ -13,7 +13,7 @@ use std::ops::Mul;
 /// use rbd_spatial::{Quat, Vec3};
 /// let q = Quat::from_axis_angle(Vec3::unit_z(), std::f64::consts::FRAC_PI_2);
 /// let v = q.rotate(Vec3::unit_x());
-/// assert!((v.y - 1.0).abs() < 1e-12);
+/// assert!((v.y() - 1.0).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quat {
@@ -49,7 +49,7 @@ impl Quat {
     /// Rotation of `angle` radians about the unit vector `axis`.
     pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
         let (s, c) = (angle * 0.5).sin_cos();
-        Self::new(c, axis.x * s, axis.y * s, axis.z * s)
+        Self::new(c, axis.x() * s, axis.y() * s, axis.z() * s)
     }
 
     /// Exponential map: the rotation obtained by integrating angular
@@ -59,7 +59,7 @@ impl Quat {
         if theta < 1e-12 {
             // Second-order series keeps the map smooth near zero.
             let half = w * 0.5;
-            Self::new(1.0 - theta * theta / 8.0, half.x, half.y, half.z).normalized()
+            Self::new(1.0 - theta * theta / 8.0, half.x(), half.y(), half.z()).normalized()
         } else {
             Self::from_axis_angle(w / theta, theta)
         }
@@ -116,38 +116,38 @@ impl Quat {
 
     /// Builds a unit quaternion from an active rotation matrix.
     pub fn from_rotation_matrix(r: &Mat3) -> Self {
-        let m = &r.m;
+        let m = |i: usize, j: usize| r[(i, j)];
         let tr = r.trace();
         let q = if tr > 0.0 {
             let s = (tr + 1.0).sqrt() * 2.0;
             Self::new(
                 0.25 * s,
-                (m[2][1] - m[1][2]) / s,
-                (m[0][2] - m[2][0]) / s,
-                (m[1][0] - m[0][1]) / s,
+                (m(2, 1) - m(1, 2)) / s,
+                (m(0, 2) - m(2, 0)) / s,
+                (m(1, 0) - m(0, 1)) / s,
             )
-        } else if m[0][0] > m[1][1] && m[0][0] > m[2][2] {
-            let s = (1.0 + m[0][0] - m[1][1] - m[2][2]).sqrt() * 2.0;
+        } else if m(0, 0) > m(1, 1) && m(0, 0) > m(2, 2) {
+            let s = (1.0 + m(0, 0) - m(1, 1) - m(2, 2)).sqrt() * 2.0;
             Self::new(
-                (m[2][1] - m[1][2]) / s,
+                (m(2, 1) - m(1, 2)) / s,
                 0.25 * s,
-                (m[0][1] + m[1][0]) / s,
-                (m[0][2] + m[2][0]) / s,
+                (m(0, 1) + m(1, 0)) / s,
+                (m(0, 2) + m(2, 0)) / s,
             )
-        } else if m[1][1] > m[2][2] {
-            let s = (1.0 + m[1][1] - m[0][0] - m[2][2]).sqrt() * 2.0;
+        } else if m(1, 1) > m(2, 2) {
+            let s = (1.0 + m(1, 1) - m(0, 0) - m(2, 2)).sqrt() * 2.0;
             Self::new(
-                (m[0][2] - m[2][0]) / s,
-                (m[0][1] + m[1][0]) / s,
+                (m(0, 2) - m(2, 0)) / s,
+                (m(0, 1) + m(1, 0)) / s,
                 0.25 * s,
-                (m[1][2] + m[2][1]) / s,
+                (m(1, 2) + m(2, 1)) / s,
             )
         } else {
-            let s = (1.0 + m[2][2] - m[0][0] - m[1][1]).sqrt() * 2.0;
+            let s = (1.0 + m(2, 2) - m(0, 0) - m(1, 1)).sqrt() * 2.0;
             Self::new(
-                (m[1][0] - m[0][1]) / s,
-                (m[0][2] + m[2][0]) / s,
-                (m[1][2] + m[2][1]) / s,
+                (m(1, 0) - m(0, 1)) / s,
+                (m(0, 2) + m(2, 0)) / s,
+                (m(1, 2) + m(2, 1)) / s,
                 0.25 * s,
             )
         };

@@ -1,4 +1,9 @@
 //! Spatial (6-D) motion and force vectors and their cross operators.
+//!
+//! Both vector types are backed by a flat `[f64; 6]` (angular coordinates
+//! first), so per-body tables of spatial vectors are contiguous streams
+//! of doubles, and the cross/dot kernels below are straight-line unrolled
+//! multiply–add chains the compiler can autovectorize.
 
 use crate::Vec3;
 use std::fmt;
@@ -13,38 +18,68 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// let v = MotionVec::new(Vec3::unit_z(), Vec3::zero());
 /// let m = MotionVec::new(Vec3::zero(), Vec3::unit_x());
 /// // ẑ angular velocity sweeps an x̂ linear motion into ŷ:
-/// assert!((v.cross_motion(&m).lin - Vec3::unit_y()).max_abs() < 1e-15);
+/// assert!((v.cross_motion(&m).lin() - Vec3::unit_y()).max_abs() < 1e-15);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MotionVec {
-    /// Angular part `ω`.
-    pub ang: Vec3,
-    /// Linear part `v`.
-    pub lin: Vec3,
+    d: [f64; 6],
 }
 
 /// A spatial **force** vector `[n; f]` (wrenches, momenta).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ForceVec {
-    /// Rotational part (moment) `n`.
-    pub ang: Vec3,
-    /// Translational part (force) `f`.
-    pub lin: Vec3,
+    d: [f64; 6],
 }
 
 macro_rules! impl_spatial_common {
     ($ty:ident) => {
         impl $ty {
             /// Creates a spatial vector from angular and linear parts.
-            #[inline]
+            #[inline(always)]
             pub const fn new(ang: Vec3, lin: Vec3) -> Self {
-                Self { ang, lin }
+                let a = ang.to_array();
+                let l = lin.to_array();
+                Self {
+                    d: [a[0], a[1], a[2], l[0], l[1], l[2]],
+                }
+            }
+
+            /// Creates a spatial vector directly from its six coordinates
+            /// (angular first).
+            #[inline(always)]
+            pub const fn from_array(d: [f64; 6]) -> Self {
+                Self { d }
             }
 
             /// The zero vector.
-            #[inline]
+            #[inline(always)]
             pub const fn zero() -> Self {
-                Self::new(Vec3::zero(), Vec3::zero())
+                Self { d: [0.0; 6] }
+            }
+
+            /// The angular part `ω` (a copy — the backing storage is the
+            /// flat coordinate array).
+            #[inline(always)]
+            pub const fn ang(&self) -> Vec3 {
+                Vec3::new(self.d[0], self.d[1], self.d[2])
+            }
+
+            /// The linear part `v` (a copy).
+            #[inline(always)]
+            pub const fn lin(&self) -> Vec3 {
+                Vec3::new(self.d[3], self.d[4], self.d[5])
+            }
+
+            /// Replaces the angular part.
+            #[inline(always)]
+            pub fn set_ang(&mut self, ang: Vec3) {
+                self.d[..3].copy_from_slice(ang.as_array());
+            }
+
+            /// Replaces the linear part.
+            #[inline(always)]
+            pub fn set_lin(&mut self, lin: Vec3) {
+                self.d[3..].copy_from_slice(lin.as_array());
             }
 
             /// Builds from a slice of at least six elements
@@ -52,77 +87,105 @@ macro_rules! impl_spatial_common {
             ///
             /// # Panics
             /// Panics if `s.len() < 6`.
+            #[inline]
             pub fn from_slice(s: &[f64]) -> Self {
-                Self::new(Vec3::new(s[0], s[1], s[2]), Vec3::new(s[3], s[4], s[5]))
+                Self {
+                    d: [s[0], s[1], s[2], s[3], s[4], s[5]],
+                }
             }
 
             /// Returns the six coordinates, angular first.
-            pub fn to_array(&self) -> [f64; 6] {
-                [
-                    self.ang.x, self.ang.y, self.ang.z, self.lin.x, self.lin.y, self.lin.z,
-                ]
+            #[inline(always)]
+            pub const fn to_array(&self) -> [f64; 6] {
+                self.d
+            }
+
+            /// Borrows the six coordinates as a flat array.
+            #[inline(always)]
+            pub const fn as_array(&self) -> &[f64; 6] {
+                &self.d
             }
 
             /// Largest absolute coordinate.
             pub fn max_abs(&self) -> f64 {
-                self.ang.max_abs().max(self.lin.max_abs())
+                self.d.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
             }
 
             /// Euclidean norm of the stacked 6-vector.
             pub fn norm(&self) -> f64 {
-                (self.ang.norm_squared() + self.lin.norm_squared()).sqrt()
+                self.d.iter().map(|x| x * x).sum::<f64>().sqrt()
             }
         }
 
         impl Add for $ty {
             type Output = $ty;
-            #[inline]
+            #[inline(always)]
             fn add(self, r: $ty) -> $ty {
-                $ty::new(self.ang + r.ang, self.lin + r.lin)
+                let mut d = self.d;
+                for k in 0..6 {
+                    d[k] += r.d[k];
+                }
+                $ty { d }
             }
         }
 
         impl AddAssign for $ty {
-            #[inline]
+            #[inline(always)]
             fn add_assign(&mut self, r: $ty) {
-                *self = *self + r;
+                for k in 0..6 {
+                    self.d[k] += r.d[k];
+                }
             }
         }
 
         impl Sub for $ty {
             type Output = $ty;
-            #[inline]
+            #[inline(always)]
             fn sub(self, r: $ty) -> $ty {
-                $ty::new(self.ang - r.ang, self.lin - r.lin)
+                let mut d = self.d;
+                for k in 0..6 {
+                    d[k] -= r.d[k];
+                }
+                $ty { d }
             }
         }
 
         impl SubAssign for $ty {
-            #[inline]
+            #[inline(always)]
             fn sub_assign(&mut self, r: $ty) {
-                *self = *self - r;
+                for k in 0..6 {
+                    self.d[k] -= r.d[k];
+                }
             }
         }
 
         impl Neg for $ty {
             type Output = $ty;
-            #[inline]
+            #[inline(always)]
             fn neg(self) -> $ty {
-                $ty::new(-self.ang, -self.lin)
+                let mut d = self.d;
+                for x in d.iter_mut() {
+                    *x = -*x;
+                }
+                $ty { d }
             }
         }
 
         impl Mul<f64> for $ty {
             type Output = $ty;
-            #[inline]
+            #[inline(always)]
             fn mul(self, s: f64) -> $ty {
-                $ty::new(self.ang * s, self.lin * s)
+                let mut d = self.d;
+                for x in d.iter_mut() {
+                    *x *= s;
+                }
+                $ty { d }
             }
         }
 
         impl Mul<$ty> for f64 {
             type Output = $ty;
-            #[inline]
+            #[inline(always)]
             fn mul(self, v: $ty) -> $ty {
                 v * self
             }
@@ -130,30 +193,22 @@ macro_rules! impl_spatial_common {
 
         impl Index<usize> for $ty {
             type Output = f64;
-            #[inline]
+            #[inline(always)]
             fn index(&self, i: usize) -> &f64 {
-                if i < 3 {
-                    &self.ang[i]
-                } else {
-                    &self.lin[i - 3]
-                }
+                &self.d[i]
             }
         }
 
         impl IndexMut<usize> for $ty {
-            #[inline]
+            #[inline(always)]
             fn index_mut(&mut self, i: usize) -> &mut f64 {
-                if i < 3 {
-                    &mut self.ang[i]
-                } else {
-                    &mut self.lin[i - 3]
-                }
+                &mut self.d[i]
             }
         }
 
         impl fmt::Display for $ty {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, "[{}; {}]", self.ang, self.lin)
+                write!(f, "[{}; {}]", self.ang(), self.lin())
             }
         }
     };
@@ -166,37 +221,86 @@ impl MotionVec {
     /// Spatial motion cross product `self × m` (Featherstone `crm(v) m`):
     ///
     /// `[ω×m_ω ; ω×m_v + v×m_ω]`.
-    #[inline]
+    #[inline(always)]
     pub fn cross_motion(&self, m: &MotionVec) -> MotionVec {
-        MotionVec::new(
-            self.ang.cross(&m.ang),
-            self.ang.cross(&m.lin) + self.lin.cross(&m.ang),
-        )
+        let [w0, w1, w2, v0, v1, v2] = self.d;
+        let [a0, a1, a2, b0, b1, b2] = m.d;
+        MotionVec {
+            d: [
+                w1 * a2 - w2 * a1,
+                w2 * a0 - w0 * a2,
+                w0 * a1 - w1 * a0,
+                (w1 * b2 - w2 * b1) + (v1 * a2 - v2 * a1),
+                (w2 * b0 - w0 * b2) + (v2 * a0 - v0 * a2),
+                (w0 * b1 - w1 * b0) + (v0 * a1 - v1 * a0),
+            ],
+        }
     }
 
     /// Spatial force cross product `self ×* f` (Featherstone `crf(v) f`):
     ///
     /// `[ω×f_n + v×f_f ; ω×f_f]`.
-    #[inline]
+    #[inline(always)]
     pub fn cross_force(&self, f: &ForceVec) -> ForceVec {
-        ForceVec::new(
-            self.ang.cross(&f.ang) + self.lin.cross(&f.lin),
-            self.ang.cross(&f.lin),
-        )
+        let [w0, w1, w2, v0, v1, v2] = self.d;
+        let [n0, n1, n2, f0, f1, f2] = f.d;
+        ForceVec {
+            d: [
+                (w1 * n2 - w2 * n1) + (v1 * f2 - v2 * f1),
+                (w2 * n0 - w0 * n2) + (v2 * f0 - v0 * f2),
+                (w0 * n1 - w1 * n0) + (v0 * f1 - v1 * f0),
+                w1 * f2 - w2 * f1,
+                w2 * f0 - w0 * f2,
+                w0 * f1 - w1 * f0,
+            ],
+        }
     }
 
     /// Duality pairing `⟨motion, force⟩ = ωᵀn + vᵀf` (e.g. joint torque
     /// `τ = Sᵀ f`, power `vᵀ f`).
-    #[inline]
+    #[inline(always)]
     pub fn dot_force(&self, f: &ForceVec) -> f64 {
-        self.ang.dot(&f.ang) + self.lin.dot(&f.lin)
+        let a = &self.d;
+        let b = &f.d;
+        (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) + (a[3] * b[3] + a[4] * b[4] + a[5] * b[5])
+    }
+
+    /// Fused weighted sum `Σ_k w[k]·cols[k]` over a batch of motion
+    /// columns (the `S q̇` / `S q̈` joint-space sums of the per-body
+    /// sweeps), accumulated per coordinate lane — one contiguous pass.
+    ///
+    /// # Panics
+    /// Panics if `cols.len() != w.len()`.
+    #[inline]
+    pub fn weighted_sum(cols: &[MotionVec], w: &[f64]) -> MotionVec {
+        assert_eq!(cols.len(), w.len(), "weighted_sum length mismatch");
+        let mut acc = [0.0; 6];
+        for (c, &wk) in cols.iter().zip(w) {
+            for (a, x) in acc.iter_mut().zip(&c.d) {
+                *a += x * wk;
+            }
+        }
+        MotionVec { d: acc }
+    }
+
+    /// Batched duality pairing: `out[k] = ⟨cols[k], f⟩` (the `τ = Sᵀ f`
+    /// torque projection of the backward sweeps).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != cols.len()`.
+    #[inline]
+    pub fn dot_force_batch(cols: &[MotionVec], f: &ForceVec, out: &mut [f64]) {
+        assert_eq!(cols.len(), out.len(), "dot_force_batch length mismatch");
+        for (o, c) in out.iter_mut().zip(cols) {
+            *o = c.dot_force(f);
+        }
     }
 }
 
 impl ForceVec {
     /// Duality pairing with a motion vector (commutes with
     /// [`MotionVec::dot_force`]).
-    #[inline]
+    #[inline(always)]
     pub fn dot_motion(&self, m: &MotionVec) -> f64 {
         m.dot_force(self)
     }
@@ -247,6 +351,17 @@ mod tests {
         assert_eq!(v[0], 1.0);
         assert_eq!(v[3], 4.0);
         assert_eq!(v.to_array(), [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(v.ang().to_array(), [1.0, 2.0, 3.0]);
+        assert_eq!(v.lin().to_array(), [4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn part_setters() {
+        let mut v = MotionVec::zero();
+        v.set_ang(Vec3::new(1.0, 2.0, 3.0));
+        v.set_lin(Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(v, mv([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        assert_eq!(MotionVec::from_array(v.to_array()), v);
     }
 
     #[test]
@@ -268,5 +383,34 @@ mod tests {
         let m = mv([0.3, 1.0, -0.5, 0.2, 0.0, 0.7]);
         let f = fv([1.5, -0.1, 0.4, 0.9, 0.8, -0.3]);
         assert_eq!(m.dot_force(&f), f.dot_motion(&m));
+    }
+
+    #[test]
+    fn weighted_sum_matches_axpy_loop() {
+        let cols = [
+            mv([0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+            mv([-1.0, 0.5, 0.2, 0.0, 0.7, -0.3]),
+            mv([2.0, -0.1, 0.4, 0.9, 0.8, -0.3]),
+        ];
+        let w = [0.5, -1.5, 2.0];
+        let mut expect = MotionVec::zero();
+        for (c, &wk) in cols.iter().zip(&w) {
+            expect += *c * wk;
+        }
+        let got = MotionVec::weighted_sum(&cols, &w);
+        assert_eq!(got.to_array(), expect.to_array());
+    }
+
+    #[test]
+    fn dot_force_batch_matches_scalar() {
+        let cols = [
+            mv([0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+            mv([-1.0, 0.5, 0.2, 0.0, 0.7, -0.3]),
+        ];
+        let f = fv([1.5, -0.1, 0.4, 0.9, 0.8, -0.3]);
+        let mut out = [0.0; 2];
+        MotionVec::dot_force_batch(&cols, &f, &mut out);
+        assert_eq!(out[0], cols[0].dot_force(&f));
+        assert_eq!(out[1], cols[1].dot_force(&f));
     }
 }

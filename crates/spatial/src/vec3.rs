@@ -1,9 +1,11 @@
-//! 3-dimensional vectors.
+//! 3-dimensional vectors on flat array backing.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
-/// A 3-D vector of `f64` coordinates.
+/// A 3-D vector of `f64` coordinates, backed by a flat `[f64; 3]` so that
+/// batches of vectors form one contiguous stream of doubles the compiler
+/// can autovectorize over.
 ///
 /// # Example
 /// ```
@@ -15,23 +17,18 @@ use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
-    /// X coordinate.
-    pub x: f64,
-    /// Y coordinate.
-    pub y: f64,
-    /// Z coordinate.
-    pub z: f64,
+    a: [f64; 3],
 }
 
 impl Vec3 {
     /// Creates a vector from its three coordinates.
-    #[inline]
+    #[inline(always)]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
-        Self { x, y, z }
+        Self { a: [x, y, z] }
     }
 
     /// The zero vector.
-    #[inline]
+    #[inline(always)]
     pub const fn zero() -> Self {
         Self::new(0.0, 0.0, 0.0)
     }
@@ -54,6 +51,24 @@ impl Vec3 {
         Self::new(0.0, 0.0, 1.0)
     }
 
+    /// X coordinate.
+    #[inline(always)]
+    pub const fn x(&self) -> f64 {
+        self.a[0]
+    }
+
+    /// Y coordinate.
+    #[inline(always)]
+    pub const fn y(&self) -> f64 {
+        self.a[1]
+    }
+
+    /// Z coordinate.
+    #[inline(always)]
+    pub const fn z(&self) -> f64 {
+        self.a[2]
+    }
+
     /// Builds a vector from a slice of at least three elements.
     ///
     /// # Panics
@@ -64,25 +79,29 @@ impl Vec3 {
     }
 
     /// Returns the coordinates as an array `[x, y, z]`.
-    #[inline]
+    #[inline(always)]
     pub const fn to_array(self) -> [f64; 3] {
-        [self.x, self.y, self.z]
+        self.a
+    }
+
+    /// Borrows the coordinates as a flat array.
+    #[inline(always)]
+    pub const fn as_array(&self) -> &[f64; 3] {
+        &self.a
     }
 
     /// Dot product.
-    #[inline]
+    #[inline(always)]
     pub fn dot(&self, rhs: &Self) -> f64 {
-        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+        self.a[0] * rhs.a[0] + self.a[1] * rhs.a[1] + self.a[2] * rhs.a[2]
     }
 
     /// Cross product `self × rhs`.
-    #[inline]
+    #[inline(always)]
     pub fn cross(&self, rhs: &Self) -> Self {
-        Self::new(
-            self.y * rhs.z - self.z * rhs.y,
-            self.z * rhs.x - self.x * rhs.z,
-            self.x * rhs.y - self.y * rhs.x,
-        )
+        let [ax, ay, az] = self.a;
+        let [bx, by, bz] = rhs.a;
+        Self::new(ay * bz - az * by, az * bx - ax * bz, ax * by - ay * bx)
     }
 
     /// Euclidean norm.
@@ -111,32 +130,36 @@ impl Vec3 {
     /// Largest absolute coordinate.
     #[inline]
     pub fn max_abs(&self) -> f64 {
-        self.x.abs().max(self.y.abs()).max(self.z.abs())
+        self.a[0].abs().max(self.a[1].abs()).max(self.a[2].abs())
     }
 
     /// Component-wise map.
     #[inline]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self::new(f(self.x), f(self.y), f(self.z))
+        Self::new(f(self.a[0]), f(self.a[1]), f(self.a[2]))
     }
 }
 
 impl fmt::Display for Vec3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:.6}, {:.6}, {:.6}]", self.x, self.y, self.z)
+        write!(f, "[{:.6}, {:.6}, {:.6}]", self.a[0], self.a[1], self.a[2])
     }
 }
 
 impl Add for Vec3 {
     type Output = Vec3;
-    #[inline]
+    #[inline(always)]
     fn add(self, rhs: Vec3) -> Vec3 {
-        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+        Vec3::new(
+            self.a[0] + rhs.a[0],
+            self.a[1] + rhs.a[1],
+            self.a[2] + rhs.a[2],
+        )
     }
 }
 
 impl AddAssign for Vec3 {
-    #[inline]
+    #[inline(always)]
     fn add_assign(&mut self, rhs: Vec3) {
         *self = *self + rhs;
     }
@@ -144,14 +167,18 @@ impl AddAssign for Vec3 {
 
 impl Sub for Vec3 {
     type Output = Vec3;
-    #[inline]
+    #[inline(always)]
     fn sub(self, rhs: Vec3) -> Vec3 {
-        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+        Vec3::new(
+            self.a[0] - rhs.a[0],
+            self.a[1] - rhs.a[1],
+            self.a[2] - rhs.a[2],
+        )
     }
 }
 
 impl SubAssign for Vec3 {
-    #[inline]
+    #[inline(always)]
     fn sub_assign(&mut self, rhs: Vec3) {
         *self = *self - rhs;
     }
@@ -159,23 +186,23 @@ impl SubAssign for Vec3 {
 
 impl Neg for Vec3 {
     type Output = Vec3;
-    #[inline]
+    #[inline(always)]
     fn neg(self) -> Vec3 {
-        Vec3::new(-self.x, -self.y, -self.z)
+        Vec3::new(-self.a[0], -self.a[1], -self.a[2])
     }
 }
 
 impl Mul<f64> for Vec3 {
     type Output = Vec3;
-    #[inline]
+    #[inline(always)]
     fn mul(self, s: f64) -> Vec3 {
-        Vec3::new(self.x * s, self.y * s, self.z * s)
+        Vec3::new(self.a[0] * s, self.a[1] * s, self.a[2] * s)
     }
 }
 
 impl Mul<Vec3> for f64 {
     type Output = Vec3;
-    #[inline]
+    #[inline(always)]
     fn mul(self, v: Vec3) -> Vec3 {
         v * self
     }
@@ -185,39 +212,29 @@ impl Div<f64> for Vec3 {
     type Output = Vec3;
     #[inline]
     fn div(self, s: f64) -> Vec3 {
-        Vec3::new(self.x / s, self.y / s, self.z / s)
+        Vec3::new(self.a[0] / s, self.a[1] / s, self.a[2] / s)
     }
 }
 
 impl Index<usize> for Vec3 {
     type Output = f64;
-    #[inline]
+    #[inline(always)]
     fn index(&self, i: usize) -> &f64 {
-        match i {
-            0 => &self.x,
-            1 => &self.y,
-            2 => &self.z,
-            _ => panic!("Vec3 index {i} out of range"),
-        }
+        &self.a[i]
     }
 }
 
 impl IndexMut<usize> for Vec3 {
-    #[inline]
+    #[inline(always)]
     fn index_mut(&mut self, i: usize) -> &mut f64 {
-        match i {
-            0 => &mut self.x,
-            1 => &mut self.y,
-            2 => &mut self.z,
-            _ => panic!("Vec3 index {i} out of range"),
-        }
+        &mut self.a[i]
     }
 }
 
 impl From<[f64; 3]> for Vec3 {
-    #[inline]
+    #[inline(always)]
     fn from(a: [f64; 3]) -> Self {
-        Self::new(a[0], a[1], a[2])
+        Self { a }
     }
 }
 
@@ -264,6 +281,9 @@ mod tests {
         v[2] = 3.0;
         assert_eq!(v, Vec3::new(1.0, 2.0, 3.0));
         assert_eq!(v[2], 3.0);
+        assert_eq!(v.x(), 1.0);
+        assert_eq!(v.y(), 2.0);
+        assert_eq!(v.z(), 3.0);
     }
 
     #[test]
@@ -282,5 +302,13 @@ mod tests {
         assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
         assert_eq!(2.0 * a, a * 2.0);
         assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let v = Vec3::from([1.0, 2.0, 3.0]);
+        assert_eq!(v.to_array(), [1.0, 2.0, 3.0]);
+        assert_eq!(v.as_array(), &[1.0, 2.0, 3.0]);
+        assert_eq!(Vec3::from_slice(&[1.0, 2.0, 3.0, 9.0]), v);
     }
 }

@@ -12,6 +12,11 @@ use std::fmt;
 /// The motion-vector matrix is `[E 0; -E r× E]`; the force-vector
 /// (dual) matrix is `[E -E r×; 0 E]`.
 ///
+/// The apply kernels below are straight-line unrolled multiply–add
+/// chains over the flat `[f64; 6]` vector backing; the `*_batch` entry
+/// points apply one transform to a contiguous run of vectors so `E` and
+/// `r` stay in registers across the whole sweep.
+///
 /// # Example
 /// ```
 /// use rbd_spatial::{Xform, MotionVec, Vec3};
@@ -21,7 +26,7 @@ use std::fmt;
 /// let v = MotionVec::new(Vec3::unit_z(), Vec3::zero());
 /// let vb = x.apply_motion(&v);
 /// // The body point at B's origin moves at ω × r = +ŷ.
-/// assert!((vb.lin - Vec3::new(0.0, 1.0, 0.0)).max_abs() < 1e-14);
+/// assert!((vb.lin() - Vec3::new(0.0, 1.0, 0.0)).max_abs() < 1e-14);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Xform {
@@ -86,38 +91,94 @@ impl Xform {
 
     /// Transforms a motion vector from A-coordinates to B-coordinates:
     /// `v_B = [E 0; -E r× E] v_A`.
-    #[inline]
+    #[inline(always)]
     pub fn apply_motion(&self, v: &MotionVec) -> MotionVec {
-        let ang = self.rot * v.ang;
-        let lin = self.rot * (v.lin - self.trans.cross(&v.ang));
+        let ang = self.rot * v.ang();
+        let lin = self.rot * (v.lin() - self.trans.cross(&v.ang()));
         MotionVec::new(ang, lin)
     }
 
     /// Transforms a motion vector from B-coordinates back to A-coordinates
     /// (the inverse of [`Self::apply_motion`]).
-    #[inline]
+    #[inline(always)]
     pub fn inv_apply_motion(&self, v: &MotionVec) -> MotionVec {
-        let ang = self.rot.transpose() * v.ang;
-        let lin = self.rot.transpose() * v.lin + self.trans.cross(&ang);
+        let ang = self.rot.tr_mul_vec(&v.ang());
+        let lin = self.rot.tr_mul_vec(&v.lin()) + self.trans.cross(&ang);
         MotionVec::new(ang, lin)
     }
 
     /// Transforms a force vector from A-coordinates to B-coordinates:
     /// `f_B = [E -E r×; 0 E] f_A`.
-    #[inline]
+    #[inline(always)]
     pub fn apply_force(&self, f: &ForceVec) -> ForceVec {
-        let lin = self.rot * f.lin;
-        let ang = self.rot * (f.ang - self.trans.cross(&f.lin));
+        let lin = self.rot * f.lin();
+        let ang = self.rot * (f.ang() - self.trans.cross(&f.lin()));
         ForceVec::new(ang, lin)
     }
 
     /// Transforms a force vector from B-coordinates back to A-coordinates
     /// (`^A X_B^* f`, the adjoint used by the RNEA backward pass).
-    #[inline]
+    #[inline(always)]
     pub fn inv_apply_force(&self, f: &ForceVec) -> ForceVec {
-        let lin = self.rot.transpose() * f.lin;
-        let ang = self.rot.transpose() * f.ang + self.trans.cross(&lin);
+        let lin = self.rot.tr_mul_vec(&f.lin());
+        let ang = self.rot.tr_mul_vec(&f.ang()) + self.trans.cross(&lin);
         ForceVec::new(ang, lin)
+    }
+
+    /// Batched [`Self::apply_motion`]: `dst[k] = X · src[k]` over a
+    /// contiguous run of motion vectors.
+    ///
+    /// # Panics
+    /// Panics if `dst.len() != src.len()`.
+    #[inline]
+    pub fn apply_motion_batch(&self, src: &[MotionVec], dst: &mut [MotionVec]) {
+        assert_eq!(src.len(), dst.len(), "apply_motion_batch length");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = self.apply_motion(s);
+        }
+    }
+
+    /// Batched [`Self::inv_apply_motion`]: `dst[k] = X⁻¹ · src[k]` (e.g.
+    /// lifting all motion-subspace columns of a joint into world
+    /// coordinates in one sweep).
+    ///
+    /// # Panics
+    /// Panics if `dst.len() != src.len()`.
+    #[inline]
+    pub fn inv_apply_motion_batch(&self, src: &[MotionVec], dst: &mut [MotionVec]) {
+        assert_eq!(src.len(), dst.len(), "inv_apply_motion_batch length");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = self.inv_apply_motion(s);
+        }
+    }
+
+    /// In-place batched [`Self::inv_apply_force`]: `fs[k] = X* · fs[k]`
+    /// (the CRBA ancestor walk shifting a joint's force columns one link
+    /// up the chain).
+    #[inline]
+    pub fn inv_apply_force_batch_in_place(&self, fs: &mut [ForceVec]) {
+        for f in fs.iter_mut() {
+            *f = self.inv_apply_force(f);
+        }
+    }
+
+    /// Batched accumulating [`Self::inv_apply_force`] over an index set:
+    /// `dst[j] += X* · src[j]` for every `j` in `idx` — the
+    /// child-to-parent force-table propagation of the MMinvGen backward
+    /// sweep, with `E` and `r` hoisted out of the column loop.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds for `src` or `dst`.
+    #[inline]
+    pub fn inv_apply_force_accum(
+        &self,
+        src: &[ForceVec],
+        dst: &mut [ForceVec],
+        idx: impl IntoIterator<Item = usize>,
+    ) {
+        for j in idx {
+            dst[j] += self.inv_apply_force(&src[j]);
+        }
     }
 
     /// Composition: if `self = ^C X_B` and `rhs = ^B X_A`, returns `^C X_A`.
@@ -125,7 +186,7 @@ impl Xform {
     pub fn compose(&self, rhs: &Xform) -> Xform {
         Xform::new(
             self.rot * rhs.rot,
-            rhs.trans + rhs.rot.transpose() * self.trans,
+            rhs.trans + rhs.rot.tr_mul_vec(&self.trans),
         )
     }
 
@@ -219,7 +280,45 @@ mod tests {
         let v = MotionVec::new(Vec3::unit_x(), Vec3::zero());
         let vb = x.apply_motion(&v);
         // The body point at +2z under ω = x̂ moves at ω × r = -2ŷ.
-        assert!((vb.lin - Vec3::new(0.0, -2.0, 0.0)).max_abs() < 1e-14);
-        assert!((vb.ang - Vec3::unit_x()).max_abs() < 1e-14);
+        assert!((vb.lin() - Vec3::new(0.0, -2.0, 0.0)).max_abs() < 1e-14);
+        assert!((vb.ang() - Vec3::unit_x()).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn batch_entry_points_match_scalar_kernels() {
+        let x = arbitrary_xform();
+        let ms: Vec<MotionVec> = (0..7)
+            .map(|k| MotionVec::from_slice(&[0.1 * k as f64, 0.2, -0.3, 1.0 - k as f64, 0.5, 0.4]))
+            .collect();
+        let fs: Vec<ForceVec> = (0..7)
+            .map(|k| ForceVec::from_slice(&[0.3, -0.1 * k as f64, 0.4, 0.9, 0.8, 0.2]))
+            .collect();
+
+        let mut out = vec![MotionVec::zero(); 7];
+        x.apply_motion_batch(&ms, &mut out);
+        for (s, d) in ms.iter().zip(&out) {
+            assert_eq!(d.to_array(), x.apply_motion(s).to_array());
+        }
+        x.inv_apply_motion_batch(&ms, &mut out);
+        for (s, d) in ms.iter().zip(&out) {
+            assert_eq!(d.to_array(), x.inv_apply_motion(s).to_array());
+        }
+
+        let mut fs2 = fs.clone();
+        x.inv_apply_force_batch_in_place(&mut fs2);
+        for (s, d) in fs.iter().zip(&fs2) {
+            assert_eq!(d.to_array(), x.inv_apply_force(s).to_array());
+        }
+
+        let mut acc = fs.clone();
+        x.inv_apply_force_accum(&fs, &mut acc, [1usize, 3, 5]);
+        for (j, (s, d)) in fs.iter().zip(&acc).enumerate() {
+            let expect = if j % 2 == 1 {
+                *s + x.inv_apply_force(s)
+            } else {
+                *s
+            };
+            assert_eq!(d.to_array(), expect.to_array());
+        }
     }
 }

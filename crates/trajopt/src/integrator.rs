@@ -6,7 +6,7 @@
 //! independent.
 
 use rbd_dynamics::{fd_derivatives_into, DynamicsWorkspace, FdDerivatives};
-use rbd_model::{integrate_config, RobotModel};
+use rbd_model::{integrate_config, integrate_config_into, RobotModel};
 use rbd_spatial::MatN;
 
 /// Discrete dynamics Jacobians of one integration step in tangent
@@ -79,7 +79,7 @@ pub fn rk4_step(
 }
 
 /// Tangent-space derivative bookkeeping of one RK4 stage quantity.
-#[derive(Clone)]
+#[derive(Clone, Default)]
 struct Sens {
     /// w.r.t. δq (nv × nv)
     dq: MatN,
@@ -90,20 +90,150 @@ struct Sens {
 }
 
 impl Sens {
-    fn axpy(&self, s: f64, other: &Sens) -> Sens {
-        let f = |a: &MatN, b: &MatN| {
-            let mut out = a.clone();
-            for i in 0..out.rows() {
-                for j in 0..out.cols() {
+    fn resize(&mut self, nv: usize) {
+        self.dq.resize(nv, nv);
+        self.dqd.resize(nv, nv);
+        self.du.resize(nv, nv);
+    }
+
+    /// `self = base + s · other`, component-wise over all three blocks.
+    fn axpy_from(&mut self, base: &Sens, s: f64, other: &Sens) {
+        let f = |out: &mut MatN, a: &MatN, b: &MatN| {
+            for i in 0..a.rows() {
+                for j in 0..a.cols() {
+                    out[(i, j)] = a[(i, j)] + s * b[(i, j)];
+                }
+            }
+        };
+        f(&mut self.dq, &base.dq, &other.dq);
+        f(&mut self.dqd, &base.dqd, &other.dqd);
+        f(&mut self.du, &base.du, &other.du);
+    }
+
+    /// `self += s · other`, component-wise over all three blocks.
+    fn add_scaled(&mut self, s: f64, other: &Sens) {
+        let f = |out: &mut MatN, b: &MatN| {
+            for i in 0..b.rows() {
+                for j in 0..b.cols() {
                     out[(i, j)] += s * b[(i, j)];
                 }
             }
-            out
         };
-        Sens {
-            dq: f(&self.dq, &other.dq),
-            dqd: f(&self.dqd, &other.dqd),
-            du: f(&self.du, &other.du),
+        f(&mut self.dq, &other.dq);
+        f(&mut self.dqd, &other.dqd);
+        f(&mut self.du, &other.du);
+    }
+}
+
+/// Reusable scratch for [`rk4_step_with_sensitivity_into`]: every
+/// per-stage `Sens` matrix triple, the shared ΔFD output, the chain-rule
+/// staging matrix and the intermediate stage-state vectors. Holding one
+/// of these per evaluation thread makes the whole LQ approximation
+/// allocation-free in steady state.
+#[derive(Clone, Default)]
+pub struct Rk4SensScratch {
+    d: FdDerivatives,
+    tmp: MatN,
+    s_q0: Sens,
+    s_qd0: Sens,
+    s_q: [Sens; 3],
+    s_qd: [Sens; 3],
+    s_ka: [Sens; 4],
+    s_bar: Sens,
+    s_out: Sens,
+    q_stage: Vec<f64>,
+    qd_stage: [Vec<f64>; 3],
+    ka: [Vec<f64>; 4],
+    vbar: Vec<f64>,
+}
+
+impl Rk4SensScratch {
+    /// Scratch sized for `model`; also grows lazily on first use.
+    pub fn for_model(model: &RobotModel) -> Self {
+        let mut s = Self::default();
+        s.ensure_dims(model);
+        s
+    }
+
+    /// Sizes every buffer for `model`; allocation-free when already
+    /// sized. The constant identity/zero sensitivities of the initial
+    /// state are (re)installed here.
+    pub fn ensure_dims(&mut self, model: &RobotModel) {
+        let nv = model.nv();
+        let nq = model.nq();
+        self.d.ensure_dims(nv);
+        self.tmp.resize(nv, nv);
+        for s in [
+            &mut self.s_q0,
+            &mut self.s_qd0,
+            &mut self.s_bar,
+            &mut self.s_out,
+        ]
+        .into_iter()
+        .chain(self.s_q.iter_mut())
+        .chain(self.s_qd.iter_mut())
+        .chain(self.s_ka.iter_mut())
+        {
+            s.resize(nv);
+        }
+        self.s_q0.dq.fill(0.0);
+        self.s_q0.dqd.fill(0.0);
+        self.s_q0.du.fill(0.0);
+        self.s_qd0.dq.fill(0.0);
+        self.s_qd0.dqd.fill(0.0);
+        self.s_qd0.du.fill(0.0);
+        for i in 0..nv {
+            self.s_q0.dq[(i, i)] = 1.0;
+            self.s_qd0.dqd[(i, i)] = 1.0;
+        }
+        self.q_stage.resize(nq, 0.0);
+        for v in self.qd_stage.iter_mut() {
+            v.resize(nv, 0.0);
+        }
+        for v in self.ka.iter_mut() {
+            v.resize(nv, 0.0);
+        }
+        self.vbar.resize(nv, 0.0);
+    }
+}
+
+/// One ΔFD chain-rule stage: evaluates ΔFD at `(q_i, qd_i)` into
+/// `scratch-owned` storage and forms the stage acceleration sensitivity
+/// `ka = J_q·sq + J_qd·sqd (+ M⁻¹ on the u block)`.
+#[allow(clippy::too_many_arguments)]
+fn stage_sens(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    d: &mut FdDerivatives,
+    tmp: &mut MatN,
+    tau: &[f64],
+    q_i: &[f64],
+    qd_i: &[f64],
+    sq: &Sens,
+    sqd: &Sens,
+    ka_out: &mut [f64],
+    ka: &mut Sens,
+) {
+    fd_derivatives_into(model, ws, q_i, qd_i, tau, None, d).expect("ΔFD");
+    let nv = d.qdd.len();
+    ka_out.copy_from_slice(&d.qdd);
+    // k_v = qd_i → sensitivity is sqd (referenced by the caller).
+    // k_a = FD(q_i, qd_i, u) → dk_a/dz = Jq·sq + Jqd·sqd (+ Minv du).
+    let mut chain2 = |a: &MatN, b: &MatN, out: &mut MatN| {
+        d.dqdd_dq.mul_mat_into(a, out);
+        d.dqdd_dqd.mul_mat_into(b, tmp);
+        for i in 0..nv {
+            for j in 0..nv {
+                out[(i, j)] += tmp[(i, j)];
+            }
+        }
+    };
+    chain2(&sq.dq, &sqd.dq, &mut ka.dq);
+    chain2(&sq.dqd, &sqd.dqd, &mut ka.dqd);
+    chain2(&sq.du, &sqd.du, &mut ka.du);
+    for i in 0..nv {
+        for j in 0..nv {
+            ka.du[(i, j)] += d.dqdd_dtau[(i, j)];
         }
     }
 }
@@ -115,6 +245,9 @@ impl Sens {
 /// the transport of the configuration tangent across the step is
 /// approximated to first order in `h` (exact for 1-DOF joints).
 ///
+/// Allocates its scratch and outputs per call; hot paths should hold a
+/// [`Rk4SensScratch`] and call [`rk4_step_with_sensitivity_into`].
+///
 /// # Panics
 /// Panics if forward dynamics fails.
 pub fn rk4_step_with_sensitivity(
@@ -125,95 +258,143 @@ pub fn rk4_step_with_sensitivity(
     tau: &[f64],
     h: f64,
 ) -> (Vec<f64>, Vec<f64>, StepJacobians) {
+    let mut scratch = Rk4SensScratch::for_model(model);
+    let mut q_new = vec![0.0; model.nq()];
+    let mut qd_new = vec![0.0; model.nv()];
+    let mut jac = StepJacobians {
+        a: MatN::zeros(0, 0),
+        b: MatN::zeros(0, 0),
+    };
+    rk4_step_with_sensitivity_into(
+        model,
+        ws,
+        &mut scratch,
+        q,
+        qd,
+        tau,
+        h,
+        &mut q_new,
+        &mut qd_new,
+        &mut jac,
+    );
+    (q_new, qd_new, jac)
+}
+
+/// [`rk4_step_with_sensitivity`] into caller-reused scratch and outputs:
+/// performs zero steady-state heap allocation (all per-stage `Sens`
+/// matrices live in `scratch`, the outputs are resized only on first
+/// use) — the last allocating link of the LQ approximation chain.
+///
+/// # Panics
+/// Panics if forward dynamics fails or on dimension mismatches.
+#[allow(clippy::too_many_arguments)] // stage inputs + three outputs, mirrors the by-value API
+pub fn rk4_step_with_sensitivity_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    scratch: &mut Rk4SensScratch,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    h: f64,
+    q_new: &mut Vec<f64>,
+    qd_new: &mut Vec<f64>,
+    jac: &mut StepJacobians,
+) {
     let nv = model.nv();
-    let eye = MatN::identity(nv);
-    let zero = MatN::zeros(nv, nv);
+    scratch.ensure_dims(model);
+    q_new.resize(model.nq(), 0.0);
+    qd_new.resize(nv, 0.0);
+    jac.a.resize(2 * nv, 2 * nv);
+    jac.b.resize(2 * nv, nv);
 
-    // Stage evaluator: ΔFD at (q_i, qd_i) and chain rule through the
-    // stage state sensitivities (sq, sqd) = d(q_i, qd_i)/d(x,u). One
-    // ΔFD output is reused across the four serial stages.
-    let mut d = FdDerivatives::zeros(nv);
-    let mut stage = |q_i: &[f64], qd_i: &[f64], sq: &Sens, sqd: &Sens| -> (Vec<f64>, Sens, Sens) {
-        fd_derivatives_into(model, ws, q_i, qd_i, tau, None, &mut d).expect("ΔFD");
-        // k_v = qd_i → sensitivity is sqd.
-        // k_a = FD(q_i, qd_i, u) → dk_a/dz = Jq·sq + Jqd·sqd (+ Minv du).
-        let chain = |m: &MatN, s: &MatN| m.mul_mat(s);
-        let mut du = chain(&d.dqdd_dq, &sq.du);
-        let du2 = chain(&d.dqdd_dqd, &sqd.du);
-        for i in 0..nv {
-            for j in 0..nv {
-                du[(i, j)] += du2[(i, j)] + d.dqdd_dtau[(i, j)];
-            }
-        }
-        let ka_sens = Sens {
-            dq: &chain(&d.dqdd_dq, &sq.dq) + &chain(&d.dqdd_dqd, &sqd.dq),
-            dqd: &chain(&d.dqdd_dq, &sq.dqd) + &chain(&d.dqdd_dqd, &sqd.dqd),
-            du,
-        };
-        (d.qdd.clone(), ka_sens, sqd.clone())
-    };
+    let Rk4SensScratch {
+        d,
+        tmp,
+        s_q0,
+        s_qd0,
+        s_q,
+        s_qd,
+        s_ka,
+        s_bar,
+        s_out,
+        q_stage,
+        qd_stage,
+        ka,
+        vbar,
+    } = scratch;
+    let [s_q2, s_q3, s_q4] = s_q;
+    let [s_qd2, s_qd3, s_qd4] = s_qd;
+    let [s_k1a, s_k2a, s_k3a, s_k4a] = s_ka;
+    let [qd2, qd3, qd4] = qd_stage;
+    let [k1a, k2a, k3a, k4a] = ka;
 
-    // Identity sensitivities of the initial state.
-    let s_q0 = Sens {
-        dq: eye.clone(),
-        dqd: zero.clone(),
-        du: zero.clone(),
-    };
-    let s_qd0 = Sens {
-        dq: zero.clone(),
-        dqd: eye.clone(),
-        du: zero.clone(),
-    };
-
-    // Stage 1.
-    let (k1a, s_k1a, s_k1v) = stage(q, qd, &s_q0, &s_qd0);
+    // Stage 1 at (q, q̇); stage-velocity sensitivities are the incoming
+    // q̇-sensitivities themselves (s_k1v = s_qd0, s_k2v = s_qd2, …).
+    stage_sens(model, ws, d, tmp, tau, q, qd, s_q0, s_qd0, k1a, s_k1a);
     // Stage 2: q2 = q ⊕ (h/2 k1v), qd2 = qd + h/2 k1a.
-    let q2 = integrate_config(model, q, qd, h / 2.0);
-    let qd2: Vec<f64> = (0..nv).map(|i| qd[i] + h / 2.0 * k1a[i]).collect();
-    let s_q2 = s_q0.axpy(h / 2.0, &s_k1v);
-    let s_qd2 = s_qd0.axpy(h / 2.0, &s_k1a);
-    let (k2a, s_k2a, s_k2v) = stage(&q2, &qd2, &s_q2, &s_qd2);
+    integrate_config_into(model, q, qd, h / 2.0, q_stage);
+    for i in 0..nv {
+        qd2[i] = qd[i] + h / 2.0 * k1a[i];
+    }
+    s_q2.axpy_from(s_q0, h / 2.0, s_qd0);
+    s_qd2.axpy_from(s_qd0, h / 2.0, s_k1a);
+    stage_sens(
+        model, ws, d, tmp, tau, q_stage, qd2, s_q2, s_qd2, k2a, s_k2a,
+    );
     // Stage 3.
-    let q3 = integrate_config(model, q, &qd2, h / 2.0);
-    let qd3: Vec<f64> = (0..nv).map(|i| qd[i] + h / 2.0 * k2a[i]).collect();
-    let s_q3 = s_q0.axpy(h / 2.0, &s_k2v);
-    let s_qd3 = s_qd0.axpy(h / 2.0, &s_k2a);
-    let (k3a, s_k3a, s_k3v) = stage(&q3, &qd3, &s_q3, &s_qd3);
+    integrate_config_into(model, q, qd2, h / 2.0, q_stage);
+    for i in 0..nv {
+        qd3[i] = qd[i] + h / 2.0 * k2a[i];
+    }
+    s_q3.axpy_from(s_q0, h / 2.0, s_qd2);
+    s_qd3.axpy_from(s_qd0, h / 2.0, s_k2a);
+    stage_sens(
+        model, ws, d, tmp, tau, q_stage, qd3, s_q3, s_qd3, k3a, s_k3a,
+    );
     // Stage 4.
-    let q4 = integrate_config(model, q, &qd3, h);
-    let qd4: Vec<f64> = (0..nv).map(|i| qd[i] + h * k3a[i]).collect();
-    let s_q4 = s_q0.axpy(h, &s_k3v);
-    let s_qd4 = s_qd0.axpy(h, &s_k3a);
-    let (k4a, s_k4a, s_k4v) = stage(&q4, &qd4, &s_q4, &s_qd4);
+    integrate_config_into(model, q, qd3, h, q_stage);
+    for i in 0..nv {
+        qd4[i] = qd[i] + h * k3a[i];
+    }
+    s_q4.axpy_from(s_q0, h, s_qd3);
+    s_qd4.axpy_from(s_qd0, h, s_k3a);
+    stage_sens(
+        model, ws, d, tmp, tau, q_stage, qd4, s_q4, s_qd4, k4a, s_k4a,
+    );
 
     // Combine.
-    let vbar: Vec<f64> = (0..nv)
-        .map(|i| (qd[i] + 2.0 * qd2[i] + 2.0 * qd3[i] + qd4[i]) / 6.0)
-        .collect();
-    let q_new = integrate_config(model, q, &vbar, h);
-    let qd_new: Vec<f64> = (0..nv)
-        .map(|i| qd[i] + h / 6.0 * (k1a[i] + 2.0 * k2a[i] + 2.0 * k3a[i] + k4a[i]))
-        .collect();
+    for i in 0..nv {
+        vbar[i] = (qd[i] + 2.0 * qd2[i] + 2.0 * qd3[i] + qd4[i]) / 6.0;
+    }
+    integrate_config_into(model, q, vbar, h, q_new);
+    for i in 0..nv {
+        qd_new[i] = qd[i] + h / 6.0 * (k1a[i] + 2.0 * k2a[i] + 2.0 * k3a[i] + k4a[i]);
+    }
 
-    let s_vbar = s_k1v.axpy(2.0, &s_k2v).axpy(2.0, &s_k3v).axpy(1.0, &s_k4v);
-    let s_abar = s_k1a.axpy(2.0, &s_k2a).axpy(2.0, &s_k3a).axpy(1.0, &s_k4a);
-    let s_q_new = s_q0.axpy(h / 6.0, &s_vbar);
-    let s_qd_new = s_qd0.axpy(h / 6.0, &s_abar);
-
-    // Pack into block matrices.
-    let mut a = MatN::zeros(2 * nv, 2 * nv);
-    let mut b = MatN::zeros(2 * nv, nv);
+    // s_vbar = s_k1v + 2 s_k2v + 2 s_k3v + s_k4v, then the q output row.
+    s_bar.axpy_from(s_qd0, 2.0, s_qd2);
+    s_bar.add_scaled(2.0, s_qd3);
+    s_bar.add_scaled(1.0, s_qd4);
+    s_out.axpy_from(s_q0, h / 6.0, s_bar);
     for i in 0..nv {
         for j in 0..nv {
-            a[(i, j)] = s_q_new.dq[(i, j)];
-            a[(i, nv + j)] = s_q_new.dqd[(i, j)];
-            a[(nv + i, j)] = s_qd_new.dq[(i, j)];
-            a[(nv + i, nv + j)] = s_qd_new.dqd[(i, j)];
-            b[(i, j)] = s_q_new.du[(i, j)];
-            b[(nv + i, j)] = s_qd_new.du[(i, j)];
+            jac.a[(i, j)] = s_out.dq[(i, j)];
+            jac.a[(i, nv + j)] = s_out.dqd[(i, j)];
+            jac.b[(i, j)] = s_out.du[(i, j)];
         }
     }
-    (q_new, qd_new, StepJacobians { a, b })
+    // s_abar = s_k1a + 2 s_k2a + 2 s_k3a + s_k4a, then the q̇ output row.
+    s_bar.axpy_from(s_k1a, 2.0, s_k2a);
+    s_bar.add_scaled(2.0, s_k3a);
+    s_bar.add_scaled(1.0, s_k4a);
+    s_out.axpy_from(s_qd0, h / 6.0, s_bar);
+    for i in 0..nv {
+        for j in 0..nv {
+            jac.a[(nv + i, j)] = s_out.dq[(i, j)];
+            jac.a[(nv + i, nv + j)] = s_out.dqd[(i, j)];
+            jac.b[(nv + i, j)] = s_out.du[(i, j)];
+        }
+    }
 }
 
 #[cfg(test)]

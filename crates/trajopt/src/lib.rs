@@ -20,7 +20,8 @@ pub mod workload;
 
 pub use ilqr::{Ilqr, IlqrOptions, IlqrResult};
 pub use integrator::{
-    rk4_step, rk4_step_with_sensitivity, semi_implicit_euler_step, StepJacobians,
+    rk4_step, rk4_step_with_sensitivity, rk4_step_with_sensitivity_into, semi_implicit_euler_step,
+    Rk4SensScratch, StepJacobians,
 };
 pub use mpc::{run_mpc, MpcRun};
 pub use scheduler::{accel_makespan_cycles, cpu_makespan, ScheduleInputs};

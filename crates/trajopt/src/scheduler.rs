@@ -30,29 +30,35 @@ pub struct ScheduleInputs {
 /// slot the earliest-ready sub-task is launched; a chain's next sub-task
 /// becomes ready `latency` cycles after its predecessor issued.
 ///
+/// The ready queue is a [`std::collections::BinaryHeap`] keyed on
+/// `(ready_cycle, chain)`,
+/// so each of the `n_points × serial` issue decisions costs `O(log n)`
+/// instead of a full scan over all chains. Ties break towards the lowest
+/// chain id — exactly the order the former `min_by_key` scan produced,
+/// so makespans are bit-identical to the quadratic implementation.
+///
 /// Returns the makespan in cycles.
 pub fn accel_makespan_cycles(n_points: usize, serial: usize, ii: u64, latency: u64) -> u64 {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     assert!(n_points > 0 && serial > 0);
-    // ready[c] = cycle at which chain c's next sub-task may issue.
-    let mut ready = vec![0u64; n_points];
+    // (ready_cycle, chain id) min-heap; each chain carries its remaining
+    // sub-task count implicitly by being re-pushed until exhausted.
+    let mut queue: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..n_points).map(|c| Reverse((0u64, c))).collect();
     let mut remaining = vec![serial; n_points];
     let mut port_free = 0u64; // next cycle the issue port is available
     let mut makespan = 0u64;
-    let mut left: usize = n_points * serial;
-    while left > 0 {
-        // Earliest-ready chain with work left.
-        let (c, &r) = ready
-            .iter()
-            .enumerate()
-            .filter(|(c, _)| remaining[*c] > 0)
-            .min_by_key(|(_, &r)| r)
-            .unwrap();
+    while let Some(Reverse((r, c))) = queue.pop() {
         let issue = r.max(port_free);
         port_free = issue + ii;
-        ready[c] = issue + latency;
+        let done = issue + latency;
+        makespan = makespan.max(done);
         remaining[c] -= 1;
-        left -= 1;
-        makespan = makespan.max(issue + latency);
+        if remaining[c] > 0 {
+            queue.push(Reverse((done, c)));
+        }
     }
     makespan
 }
@@ -103,6 +109,49 @@ impl ScheduleInputs {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The original quadratic scan (full `min_by_key` over all chains per
+    /// issued sub-task), kept as the behavioural reference.
+    fn makespan_reference(n_points: usize, serial: usize, ii: u64, latency: u64) -> u64 {
+        let mut ready = vec![0u64; n_points];
+        let mut remaining = vec![serial; n_points];
+        let mut port_free = 0u64;
+        let mut makespan = 0u64;
+        let mut left: usize = n_points * serial;
+        while left > 0 {
+            let (c, &r) = ready
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| remaining[*c] > 0)
+                .min_by_key(|(_, &r)| r)
+                .unwrap();
+            let issue = r.max(port_free);
+            port_free = issue + ii;
+            ready[c] = issue + latency;
+            remaining[c] -= 1;
+            left -= 1;
+            makespan = makespan.max(issue + latency);
+        }
+        makespan
+    }
+
+    #[test]
+    fn heap_schedule_is_bit_identical_to_quadratic_scan() {
+        // Sweep the (chains, serial, ii, latency) space, including the
+        // tie-heavy regimes (latency multiple of ii, many equal-ready
+        // chains) where ordering bugs would surface.
+        for n in [1, 2, 3, 7, 16, 64, 257] {
+            for serial in [1, 2, 4, 5] {
+                for (ii, lat) in [(1, 1), (10, 100), (10, 95), (40, 300), (7, 7), (100, 10)] {
+                    assert_eq!(
+                        accel_makespan_cycles(n, serial, ii, lat),
+                        makespan_reference(n, serial, ii, lat),
+                        "n={n} serial={serial} ii={ii} lat={lat}"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn single_chain_is_fully_serial() {

@@ -17,7 +17,9 @@ pub struct WorkloadProfile {
     /// (parallelizable; contains `derivatives_s`), evaluated serially.
     pub lq_approx_s: f64,
     /// The derivatives-of-dynamics share inside the LQ approximation
-    /// (the paper highlights 23.61%).
+    /// (the paper highlights 23.61%): the four per-point ΔFD stage
+    /// evaluations timed directly at the actual RK4 stage states (not an
+    /// extrapolation, not clamped to `lq_approx_s`).
     pub derivatives_s: f64,
     /// Backward Riccati-style solve (serial).
     pub solver_s: f64,
@@ -84,16 +86,34 @@ pub fn profile_mpc_iteration_threaded(
         .map(|i| random_state(model, i as u64))
         .collect();
 
-    // Derivatives-only share, measured on the same points through the
-    // zero-allocation fast path.
+    // Derivatives-only share: time the four ΔFD evaluations of each
+    // point's RK4 sensitivity chain directly, at the *actual* stage
+    // states (each stage state is advanced with the ΔFD's own q̈
+    // by-product, exactly as `rk4_step_with_sensitivity` does). Only the
+    // ΔFD calls are inside the timed sections — the stage-state algebra
+    // and the chain-rule products are excluded.
     let mut dfd = FdDerivatives::zeros(nv);
-    let t = Instant::now();
+    let mut derivatives_s = 0.0;
     for s in &states {
-        rbd_dynamics::fd_derivatives_into(model, &mut ws, &s.q, &s.qd, &tau, None, &mut dfd)
-            .expect("ΔFD");
-        std::hint::black_box(&dfd);
+        let mut timed_dfd = |ws: &mut DynamicsWorkspace, q: &[f64], qd: &[f64]| -> Vec<f64> {
+            let t = Instant::now();
+            rbd_dynamics::fd_derivatives_into(model, ws, q, qd, &tau, None, &mut dfd).expect("ΔFD");
+            derivatives_s += t.elapsed().as_secs_f64();
+            std::hint::black_box(&dfd);
+            dfd.qdd.clone()
+        };
+        // Stage 1 at (q, q̇); stages 2-4 at the RK4 intermediate states.
+        let k1a = timed_dfd(&mut ws, &s.q, &s.qd);
+        let q2 = rbd_model::integrate_config(model, &s.q, &s.qd, dt / 2.0);
+        let qd2: Vec<f64> = (0..nv).map(|i| s.qd[i] + dt / 2.0 * k1a[i]).collect();
+        let k2a = timed_dfd(&mut ws, &q2, &qd2);
+        let q3 = rbd_model::integrate_config(model, &s.q, &qd2, dt / 2.0);
+        let qd3: Vec<f64> = (0..nv).map(|i| s.qd[i] + dt / 2.0 * k2a[i]).collect();
+        let k3a = timed_dfd(&mut ws, &q3, &qd3);
+        let q4 = rbd_model::integrate_config(model, &s.q, &qd3, dt);
+        let qd4: Vec<f64> = (0..nv).map(|i| s.qd[i] + dt * k3a[i]).collect();
+        timed_dfd(&mut ws, &q4, &qd4);
     }
-    let derivatives_s = t.elapsed().as_secs_f64() * 4.0; // 4 RK4 stages
 
     // Full LQ approximation (RK4 sensitivities per point), serial.
     let t = Instant::now();
@@ -142,7 +162,7 @@ pub fn profile_mpc_iteration_threaded(
 
     WorkloadProfile {
         lq_approx_s,
-        derivatives_s: derivatives_s.min(lq_approx_s),
+        derivatives_s,
         solver_s,
         other_s,
         lq_batch_s,
@@ -166,7 +186,14 @@ mod tests {
             p.lq_fraction()
         );
         assert!(p.derivatives_fraction() > 0.1);
-        assert!(p.derivatives_s <= p.lq_approx_s);
+        // The four ΔFD stage evaluations are a strict subset of the LQ
+        // work at the same states; allow a sliver of timing jitter.
+        assert!(
+            p.derivatives_s <= p.lq_approx_s * 1.1,
+            "derivatives {} vs LQ {}",
+            p.derivatives_s,
+            p.lq_approx_s
+        );
     }
 
     #[test]

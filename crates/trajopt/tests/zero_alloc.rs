@@ -1,0 +1,110 @@
+//! Proves the RK4 sensitivity chain — the per-point unit of the LQ
+//! approximation — performs zero steady-state heap allocation once its
+//! [`Rk4SensScratch`] and outputs are warm: a counting global allocator
+//! watches every alloc while the hot path runs against reused storage.
+//!
+//! Kept as a single `#[test]` so no concurrently running test can
+//! pollute the process-global counter.
+
+use rbd_dynamics::DynamicsWorkspace;
+use rbd_model::{integrate_config_into, random_state, robots};
+use rbd_spatial::MatN;
+use rbd_trajopt::{rk4_step_with_sensitivity_into, Rk4SensScratch, StepJacobians};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many allocator calls it made.
+fn alloc_count(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn rk4_sensitivity_chain_does_not_allocate_in_steady_state() {
+    for model in [robots::iiwa(), robots::hyq(), robots::atlas()] {
+        let mut ws = DynamicsWorkspace::new(&model);
+        let mut scratch = Rk4SensScratch::for_model(&model);
+        let nv = model.nv();
+        let s = random_state(&model, 3);
+        let tau: Vec<f64> = (0..nv).map(|k| 0.3 - 0.04 * k as f64).collect();
+        let mut q_new = vec![0.0; model.nq()];
+        let mut qd_new = vec![0.0; nv];
+        let mut jac = StepJacobians {
+            a: MatN::zeros(0, 0),
+            b: MatN::zeros(0, 0),
+        };
+
+        // Warm-up: sizes the outputs and every scratch buffer.
+        rk4_step_with_sensitivity_into(
+            &model,
+            &mut ws,
+            &mut scratch,
+            &s.q,
+            &s.qd,
+            &tau,
+            0.01,
+            &mut q_new,
+            &mut qd_new,
+            &mut jac,
+        );
+
+        // Steady state: the full four-stage ΔFD chain-rule evaluation —
+        // the per-point unit of the LQ approximation — must be
+        // allocation-free end to end.
+        let count = alloc_count(|| {
+            rk4_step_with_sensitivity_into(
+                &model,
+                &mut ws,
+                &mut scratch,
+                &s.q,
+                &s.qd,
+                &tau,
+                0.01,
+                &mut q_new,
+                &mut qd_new,
+                &mut jac,
+            )
+        });
+        assert_eq!(
+            count,
+            0,
+            "rk4_step_with_sensitivity_into allocated {count} time(s) on {}",
+            model.name()
+        );
+
+        // The manifold integrator it is built on is allocation-free too.
+        let count = alloc_count(|| {
+            integrate_config_into(&model, &s.q, &s.qd, 0.01, &mut q_new);
+        });
+        assert_eq!(count, 0, "integrate_config_into allocated {count} time(s)");
+    }
+}
