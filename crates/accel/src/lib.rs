@@ -47,7 +47,7 @@ pub mod timing;
 
 pub use config::{AccelConfig, DaduRbd, RootMode};
 pub use dataflow::{FunctionKind, FunctionOutput};
-pub use ops::OpCount;
+pub use ops::{delta_fd_flops, rk4_sens_point_flops, OpCount};
 pub use pipeline::{PipelineSim, SimResult, Stage};
 pub use power::PowerModel;
 pub use resources::{FpgaDevice, ResourceUsage};

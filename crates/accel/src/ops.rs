@@ -4,7 +4,7 @@
 //! in `I_n`, one-hot `S_n`; Fig 7b/c: incremental columns; Fig 8b:
 //! symmetric `I^A` with priority vectors).
 
-use rbd_model::JointType;
+use rbd_model::{JointType, RobotModel};
 
 /// Fixed-point multiply/add/special-function counts of one submodule
 /// activation (one task through one pipeline stage).
@@ -224,6 +224,53 @@ pub fn trig_cost(jt: &JointType) -> OpCount {
     }
 }
 
+/// Estimated total flop count (muls + adds) of one analytical ΔFD
+/// evaluation on `model`, from the paper's per-submodule operation
+/// models: the ΔRNEA sweeps (`Df`/`Db`) and the MMinvGen sweeps
+/// (`Mb`/`Mf`) at each body's ancestor-column count, plus the final
+/// dense `-M⁻¹·∂τ` products. This is the **work-based gating hook** for
+/// `rbd_dynamics::BatchEval::set_point_flops`: a paper-accurate
+/// replacement for size heuristics (like iLQR's old `nv >= 4` rule)
+/// when deciding whether a batch is worth fanning out across the
+/// worker pool.
+pub fn delta_fd_flops(model: &RobotModel) -> f64 {
+    let topo = model.topology();
+    let mut total = OpCount::default();
+    for i in 0..model.num_bodies() {
+        let jt = &model.joint(i).jtype;
+        // Ancestor-DOF columns live at this body — own DOFs plus every
+        // ancestor's (`Topology::ancestors` excludes `i` itself, same
+        // convention as `SapLayout::chain_dofs`).
+        let cols: usize = jt.nv()
+            + topo
+                .ancestors(i)
+                .iter()
+                .map(|&a| model.joint(a).jtype.nv())
+                .sum::<usize>();
+        total = total
+            .plus(df_cost(jt, cols))
+            .plus(db_cost(jt, cols))
+            .plus(mb_cost(jt, cols))
+            .plus(mf_cost(jt, cols))
+            .plus(trig_cost(jt));
+    }
+    let nv = model.nv() as f64;
+    // Final −M⁻¹·∂τ products over the two nv×nv derivative blocks
+    // (branch-sparse in practice; dense here as a safe upper estimate).
+    (total.mul + total.add) as f64 + 4.0 * nv * nv * nv
+}
+
+/// Estimated flop count of one RK4-with-sensitivity sampling point (the
+/// iLQR LQ approximation's per-point unit): four serial ΔFD stage
+/// evaluations plus the chain-rule products that combine them (~6
+/// `nv×nv` matrix products per stage over the three sensitivity
+/// blocks). Install into `BatchEval::set_point_flops` before batching
+/// LQ points.
+pub fn rk4_sens_point_flops(model: &RobotModel) -> f64 {
+    let nv = model.nv() as f64;
+    4.0 * delta_fd_flops(model) + 48.0 * nv * nv * nv
+}
+
 /// Schedule-module matrix-vector product `A(x - y)` with symmetric `A`
 /// (Fig 9c): `n(n+1)/2` distinct products per column.
 pub fn sym_matvec_cost(n: usize) -> OpCount {
@@ -297,5 +344,26 @@ mod tests {
     #[test]
     fn sym_matvec_scales_quadratically() {
         assert!(sym_matvec_cost(14).mul > 2 * sym_matvec_cost(7).mul);
+    }
+
+    #[test]
+    fn delta_fd_flops_tracks_measured_kernel_scale() {
+        // Order-of-magnitude anchors from the measured medians at ~3
+        // flops/ns: iiwa ≈ 20 kflop, Atlas ≈ 200 kflop; the estimate
+        // must land within a small factor and preserve the ordering.
+        use rbd_model::robots;
+        let iiwa = delta_fd_flops(&robots::iiwa());
+        let hyq = delta_fd_flops(&robots::hyq());
+        let atlas = delta_fd_flops(&robots::atlas());
+        assert!((5e3..1e5).contains(&iiwa), "iiwa estimate {iiwa}");
+        assert!((5e4..2e6).contains(&atlas), "atlas estimate {atlas}");
+        assert!(iiwa < hyq && hyq < atlas);
+    }
+
+    #[test]
+    fn rk4_point_costs_more_than_four_dfd() {
+        use rbd_model::robots;
+        let m = robots::iiwa();
+        assert!(rk4_sens_point_flops(&m) > 4.0 * delta_fd_flops(&m));
     }
 }

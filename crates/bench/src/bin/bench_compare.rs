@@ -1,0 +1,100 @@
+//! CI bench-regression gate: diffs a freshly generated
+//! `BENCH_derivatives.json` against the committed
+//! `BENCH_derivatives.baseline.json` and **fails (exit 1) if any
+//! median regressed past the noise threshold** (default **15%** —
+//! above the ±10% box noise recorded for these kernels in CHANGES.md,
+//! so the gate trips on real regressions rather than scheduler
+//! jitter).
+//!
+//! ```text
+//! bench_compare <current.json> <baseline.json> [--threshold 0.15]
+//! ```
+//!
+//! New cases with no baseline counterpart are reported and allowed;
+//! baseline cases that *vanished* from the current report fail the gate
+//! too (a silently dropped benchmark can hide a regression).
+
+use rbd_bench::compare::{compare, parse_report};
+use rbd_bench::harness::fmt_ns;
+use rbd_bench::print_table;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.15_f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--threshold needs a numeric value (e.g. 0.15)");
+                    return ExitCode::from(2);
+                };
+                threshold = v;
+            }
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [current_path, baseline_path] = paths.as_slice() else {
+        eprintln!("usage: bench_compare <current.json> <baseline.json> [--threshold 0.15]");
+        return ExitCode::from(2);
+    };
+
+    let read = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        parse_report(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let (current, baseline) = match (read(current_path), read(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let out = compare(&current, &baseline, threshold);
+    let rows: Vec<Vec<String>> = out
+        .compared
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                fmt_ns(r.baseline_ns),
+                fmt_ns(r.current_ns),
+                format!("{:.3}x", r.ratio),
+                if r.ratio > 1.0 + threshold {
+                    "REGRESSED".into()
+                } else {
+                    "ok".into()
+                },
+            ]
+        })
+        .collect();
+    let pct = format!("{:.0}%", threshold * 100.0);
+    print_table(
+        &format!("bench_compare — {current_path} vs {baseline_path} (threshold +{pct})",),
+        &["case", "baseline", "current", "ratio", ""],
+        &rows,
+    );
+    for name in &out.missing_in_baseline {
+        println!("new case (no baseline, allowed): {name}");
+    }
+    for name in &out.missing_in_current {
+        println!("MISSING from current report: {name}");
+    }
+
+    if !out.regressions.is_empty() || !out.missing_in_current.is_empty() {
+        eprintln!(
+            "bench_compare: {} regression(s), {} missing case(s)",
+            out.regressions.len(),
+            out.missing_in_current.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_compare: {} case(s) within +{pct} of baseline",
+        out.compared.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -15,9 +15,6 @@ use rbd_model::{random_state, robots};
 
 fn main() {
     let mut report = BenchReport::default();
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     for model in robots::paper_robots() {
         let name = model.name().to_string();
@@ -50,8 +47,11 @@ fn main() {
             });
         }
 
-        // Batched throughput: 64 points through BatchEval, 1 worker and
-        // all host workers (identical outputs by construction).
+        // Batched throughput: 64 points through the persistent worker
+        // pool at 1/2/4 executors (identical outputs by construction;
+        // the 4T/1T Atlas ratio is gated ≥1.5x in CI by scaling_check on
+        // the 4-vCPU runners — on smaller hosts the extra rows measure
+        // oversubscription, which is still useful trajectory data).
         let points: Vec<SamplePoint> = (0..64)
             .map(|i| {
                 let st = random_state(&model, i);
@@ -59,14 +59,13 @@ fn main() {
             })
             .collect();
         let mut outs = vec![FdDerivatives::zeros(nv); points.len()];
-        for threads in [1, host_cores] {
+        for threads in [1, 2, 4] {
             let mut batch = BatchEval::with_threads(&model, threads);
+            // Warm the pool so the rows measure steady-state dispatch.
+            batch.fd_derivatives_batch(&points, &mut outs).unwrap();
             group.bench(&format!("dFD_batch64_{threads}T"), || {
                 batch.fd_derivatives_batch(&points, &mut outs).unwrap();
             });
-            if host_cores == 1 {
-                break;
-            }
         }
         report.merge(group.finish());
     }

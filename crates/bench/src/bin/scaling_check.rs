@@ -1,0 +1,116 @@
+//! Multi-core `BatchEval` scaling smoke test (CI gate): on a host with
+//! ≥ 4 cores, the Atlas ΔFD 64-point batch must run **≥ 1.5x faster
+//! with 4 workers than with 1** (GitHub-hosted runners have 4 vCPUs;
+//! near-linear scaling gives ~3x, so 1.5x is a conservative smoke
+//! threshold well clear of scheduling noise), and the outputs at every
+//! worker count must be **bit-identical** to the serial loop.
+//!
+//! On hosts with fewer cores the speedup assertion is skipped (exit 0
+//! after the correctness check) unless `RBD_SCALING_STRICT=1` forces
+//! it — the 1-CPU dev containers this repo is grown in cannot exhibit
+//! scaling, which is exactly why this gate lives in CI (see
+//! ROADMAP.md's "verify near-linear thread scaling" item).
+//!
+//! ```text
+//! scaling_check [--min-speedup 1.5] [--threads 4]
+//! ```
+
+use rbd_bench::harness::{fmt_ns, Bench};
+use rbd_dynamics::{fd_derivatives, BatchEval, DynamicsWorkspace, FdDerivatives, SamplePoint};
+use rbd_model::{random_state, robots};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_speedup = 1.5_f64;
+    let mut threads = 4_usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| {
+            it.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+        };
+        match a.as_str() {
+            "--min-speedup" => min_speedup = num("--min-speedup"),
+            "--threads" => threads = num("--threads") as usize,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: scaling_check [--min-speedup X] [--threads N]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let model = robots::atlas();
+    let nv = model.nv();
+    let tau: Vec<f64> = (0..nv).map(|k| 0.5 - 0.05 * k as f64).collect();
+    let points: Vec<SamplePoint> = (0..64)
+        .map(|i| {
+            let s = random_state(&model, i);
+            (s.q, s.qd, tau.clone())
+        })
+        .collect();
+
+    // ---- Correctness: bit-identical to the serial loop at 1 and
+    //      `threads` workers (always checked, on any host).
+    let mut ws = DynamicsWorkspace::new(&model);
+    let serial: Vec<FdDerivatives> = points
+        .iter()
+        .map(|(q, qd, tau)| fd_derivatives(&model, &mut ws, q, qd, tau, None).unwrap())
+        .collect();
+    for t in [1, threads] {
+        let mut batch = BatchEval::with_threads(&model, t);
+        let mut outs = vec![FdDerivatives::zeros(nv); points.len()];
+        batch.fd_derivatives_batch(&points, &mut outs).unwrap();
+        for (k, (b, s)) in outs.iter().zip(&serial).enumerate() {
+            let identical = (&b.dqdd_dq - &s.dqdd_dq).max_abs() == 0.0
+                && (&b.dqdd_dqd - &s.dqdd_dqd).max_abs() == 0.0
+                && (&b.dqdd_dtau - &s.dqdd_dtau).max_abs() == 0.0
+                && b.qdd == s.qdd;
+            if !identical {
+                eprintln!("scaling_check: point {k} at {t} worker(s) differs from serial loop");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("correctness: outputs bit-identical to the serial loop at 1 and {threads} worker(s)");
+
+    // ---- Scaling: median batch latency at 1 vs `threads` workers.
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let strict = std::env::var("RBD_SCALING_STRICT").as_deref() == Ok("1");
+    if host_cores < threads && !strict {
+        println!(
+            "scaling_check: host has {host_cores} core(s) < {threads}; skipping the speedup \
+             assertion (set RBD_SCALING_STRICT=1 to force)"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut medians = Vec::new();
+    for t in [1, threads] {
+        let mut batch = BatchEval::with_threads(&model, t);
+        let mut outs = vec![FdDerivatives::zeros(nv); points.len()];
+        let mut group = Bench::new("scaling").quiet();
+        let e = group.bench(&format!("dFD_batch64_{t}T"), || {
+            batch.fd_derivatives_batch(&points, &mut outs).unwrap();
+        });
+        println!(
+            "atlas dFD batch64 @ {t} worker(s): median {}",
+            fmt_ns(e.median_ns)
+        );
+        medians.push(e.median_ns);
+    }
+    let speedup = medians[0] / medians[1];
+    println!("speedup {threads}T vs 1T: {speedup:.2}x (required ≥ {min_speedup:.2}x)");
+    if speedup < min_speedup {
+        eprintln!(
+            "scaling_check: FAILED — {threads}-worker speedup {speedup:.2}x < {min_speedup:.2}x"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

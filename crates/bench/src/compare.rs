@@ -1,0 +1,243 @@
+//! Bench-regression comparison: parses the `BENCH_*.json` reports the
+//! in-tree harness emits and diffs medians against a committed baseline
+//! — the library half of the `bench_compare` CI gate (and of the
+//! `scaling_check` multi-core smoke test, which reads ratios out of the
+//! same schema).
+//!
+//! The parser is deliberately minimal: it only understands the flat
+//! `{"benchmarks": [{"name": ..., "median_ns": ...}]}` document that
+//! [`crate::harness::BenchReport::to_json`] writes (the workspace has
+//! no JSON dependency), and it round-trips against that writer in the
+//! tests below.
+
+use std::collections::BTreeMap;
+
+/// One parsed benchmark case (the subset the gates need).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// Full `group/name` identifier.
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+}
+
+/// Parses a harness-schema report into its cases, in document order.
+///
+/// # Errors
+/// Returns a description of the first malformed entry (missing
+/// `median_ns`, unterminated string, non-numeric median).
+pub fn parse_report(json: &str) -> Result<Vec<BenchCase>, String> {
+    let mut cases = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let colon = rest
+            .find(':')
+            .ok_or_else(|| "missing ':' after \"name\"".to_string())?;
+        let name = parse_json_string(rest[colon + 1..].trim_start())?;
+        // Bound the median search to this entry: searching past the next
+        // "name" key would silently steal the following entry's median
+        // when this one is malformed.
+        let entry = &rest[..rest.find("\"name\"").unwrap_or(rest.len())];
+        let med_pos = entry
+            .find("\"median_ns\"")
+            .ok_or_else(|| format!("entry {name:?} has no median_ns"))?;
+        let med_rest = &entry[med_pos + "\"median_ns\"".len()..];
+        let med_colon = med_rest
+            .find(':')
+            .ok_or_else(|| "missing ':' after \"median_ns\"".to_string())?;
+        let num: String = med_rest[med_colon + 1..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        let median_ns: f64 = num
+            .parse()
+            .map_err(|e| format!("bad median_ns for {name:?}: {e}"))?;
+        cases.push(BenchCase { name, median_ns });
+    }
+    Ok(cases)
+}
+
+fn parse_json_string(s: &str) -> Result<String, String> {
+    let mut chars = s.chars();
+    if chars.next() != Some('"') {
+        return Err(format!("expected string, found {:?}…", s.get(..8)));
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("bad \\u escape: {e}"))?;
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                }
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+/// Looks a case up by name.
+pub fn median_of<'a>(cases: &'a [BenchCase], name: &str) -> Option<&'a BenchCase> {
+    cases.iter().find(|c| c.name == name)
+}
+
+/// One median that regressed past the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Case name.
+    pub name: String,
+    /// Current median, nanoseconds.
+    pub current_ns: f64,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+}
+
+/// Outcome of diffing a current report against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// Cases compared (present in both reports), with their ratios.
+    pub compared: Vec<Regression>,
+    /// Cases whose ratio exceeded `1 + threshold`.
+    pub regressions: Vec<Regression>,
+    /// Current cases with no baseline counterpart (new benches: fine).
+    pub missing_in_baseline: Vec<String>,
+    /// Baseline cases that vanished from the current report (suspicious:
+    /// a silently dropped benchmark can hide a regression).
+    pub missing_in_current: Vec<String>,
+}
+
+/// Diffs `current` against `baseline`: a case regresses when its median
+/// exceeds the baseline median by more than `threshold` (e.g. `0.15`
+/// = +15%, the CI default — chosen to sit above the ±10% box noise the
+/// perf logs in CHANGES.md record for these kernels, so the gate trips
+/// on real regressions, not scheduler jitter).
+pub fn compare(current: &[BenchCase], baseline: &[BenchCase], threshold: f64) -> CompareOutcome {
+    let base: BTreeMap<&str, f64> = baseline
+        .iter()
+        .map(|c| (c.name.as_str(), c.median_ns))
+        .collect();
+    let cur: BTreeMap<&str, f64> = current
+        .iter()
+        .map(|c| (c.name.as_str(), c.median_ns))
+        .collect();
+    let mut out = CompareOutcome::default();
+    for c in current {
+        match base.get(c.name.as_str()) {
+            None => out.missing_in_baseline.push(c.name.clone()),
+            Some(&b) => {
+                let r = Regression {
+                    name: c.name.clone(),
+                    current_ns: c.median_ns,
+                    baseline_ns: b,
+                    ratio: c.median_ns / b,
+                };
+                if r.ratio > 1.0 + threshold {
+                    out.regressions.push(r.clone());
+                }
+                out.compared.push(r);
+            }
+        }
+    }
+    for b in baseline {
+        if !cur.contains_key(b.name.as_str()) {
+            out.missing_in_current.push(b.name.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Bench;
+    use std::time::Duration;
+
+    fn case(name: &str, median_ns: f64) -> BenchCase {
+        BenchCase {
+            name: name.into(),
+            median_ns,
+        }
+    }
+
+    #[test]
+    fn round_trips_the_harness_writer() {
+        let mut b = Bench::new("g").quiet();
+        b.sample_count = 2;
+        b.sample_time = Duration::from_micros(100);
+        b.warm_up = Duration::from_micros(100);
+        b.bench("plain", || std::hint::black_box(1));
+        b.bench("quo\"ted", || std::hint::black_box(2));
+        let report = b.finish();
+        let parsed = parse_report(&report.to_json()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "g/plain");
+        assert_eq!(parsed[1].name, "g/quo\"ted");
+        for (p, e) in parsed.iter().zip(&report.entries) {
+            assert!((p.median_ns - e.median_ns).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parses_the_committed_schema_shape() {
+        let json = r#"{
+  "benchmarks": [
+    {"name": "derivatives/iiwa/dID_single", "median_ns": 3341.519, "mean_ns": 3380.177, "min_ns": 3135.692, "throughput_per_s": 299265.082, "iters_per_sample": 6137, "samples": 15},
+    {"name": "derivatives/iiwa/dFD_batch64_1T", "median_ns": 435314.174, "mean_ns": 439622.846, "min_ns": 427083.500, "throughput_per_s": 2297.191, "iters_per_sample": 46, "samples": 15}
+  ]
+}"#;
+        let cases = parse_report(json).unwrap();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].median_ns, 3341.519);
+        assert_eq!(
+            median_of(&cases, "derivatives/iiwa/dFD_batch64_1T")
+                .unwrap()
+                .median_ns,
+            435314.174
+        );
+        assert!(median_of(&cases, "nope").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        assert!(parse_report(r#"{"benchmarks": [{"name": "a"}]}"#).is_err());
+        assert!(parse_report(r#"{"benchmarks": [{"name": "a", "median_ns": "x"}]}"#).is_err());
+        assert!(parse_report("").unwrap().is_empty());
+        // An entry missing its median must error, not steal the next
+        // entry's median.
+        let stolen = r#"{"benchmarks": [{"name": "a"}, {"name": "b", "median_ns": 5}]}"#;
+        assert!(parse_report(stolen).unwrap_err().contains("\"a\""));
+    }
+
+    #[test]
+    fn flags_regressions_past_threshold_only() {
+        let baseline = [case("a", 100.0), case("b", 100.0), case("gone", 50.0)];
+        let current = [case("a", 114.0), case("b", 116.0), case("new", 10.0)];
+        let out = compare(&current, &baseline, 0.15);
+        assert_eq!(out.compared.len(), 2);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].name, "b");
+        assert!((out.regressions[0].ratio - 1.16).abs() < 1e-12);
+        assert_eq!(out.missing_in_baseline, vec!["new".to_string()]);
+        assert_eq!(out.missing_in_current, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn improvements_never_trip_the_gate() {
+        let baseline = [case("a", 100.0)];
+        let current = [case("a", 40.0)];
+        let out = compare(&current, &baseline, 0.15);
+        assert!(out.regressions.is_empty());
+        assert!((out.compared[0].ratio - 0.4).abs() < 1e-12);
+    }
+}

@@ -6,6 +6,7 @@
 //! *shape* comparison (who wins, by what factor, where crossovers fall)
 //! is immediate. See EXPERIMENTS.md for the recorded outcomes.
 
+pub mod compare;
 pub mod harness;
 
 /// Prints a titled ASCII table.

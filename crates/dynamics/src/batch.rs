@@ -4,13 +4,30 @@
 //! N independent sampling points, so it parallelizes embarrassingly
 //! across OS threads, one [`DynamicsWorkspace`] per worker.
 //!
-//! [`BatchEval`] owns a pool of workspaces (one per thread, allocated
-//! once) and fans work out with `std::thread::scope` — no extra
-//! dependencies, no allocation in steady state when the `*_into` entry
-//! points are used. Outputs are written to per-point slots, so the
-//! result is **identical to the serial loop regardless of thread count**
-//! (each point's computation depends only on its inputs; every scratch
-//! buffer is fully overwritten per call).
+//! [`BatchEval`] owns a **persistent worker pool** (`crate::pool`):
+//! the workers are spawned once in the constructor and live behind a
+//! futex-backed epoch protocol, so a dispatch costs a condvar wake + a
+//! join rendezvous instead of per-call `std::thread::scope` spawn/join
+//! (the ROADMAP item for short-horizon many-core MPC loops). The calling
+//! thread participates as executor 0. Dispatch is allocation-free in
+//! steady state when the `*_into`/`for_each_*` entry points are used.
+//!
+//! Each executor owns a [`DynamicsWorkspace`] **and a caller-provided
+//! generic scratch slot** (`map_with_scratch` / `for_each_with_scratch`
+//! with any `S: Send`), which is what lets consumers like iLQR route
+//! per-point work through fully preallocated state (e.g.
+//! `rk4_step_with_sensitivity_into` with one `Rk4SensScratch` per
+//! worker).
+//!
+//! How many executors actually run is decided per call by **work-based
+//! gating**: the estimated FLOP volume of the batch (per-point cost ×
+//! point count, see [`BatchEval::set_point_flops`]) is divided into
+//! chunks of at least [`FLOPS_PER_WORKER`] so that tiny batches run
+//! inline on the caller and never pay a wake-up. Outputs are written to
+//! per-point slots and every point depends only on its own inputs, so
+//! the result is **bit-identical to the serial loop at any worker
+//! count** — including 1 and the 0-worker serial fallback
+//! (`with_threads(model, 0)`).
 //!
 //! # Example
 //! ```
@@ -29,19 +46,79 @@
 
 use crate::derivatives::{rnea_derivatives_into, RneaDerivatives};
 use crate::fd::{fd_derivatives_into, FdDerivatives};
+use crate::pool::WorkerPool;
 use crate::workspace::DynamicsWorkspace;
 use crate::DynamicsError;
 use rbd_model::RobotModel;
+use std::sync::Mutex;
 
 /// A sampling point `(q, q̇, u)` where `u` is `τ` for forward-dynamics
 /// kernels and `q̈` for inverse-dynamics kernels.
 pub type SamplePoint = (Vec<f64>, Vec<f64>, Vec<f64>);
 
-/// Parallel batched evaluator with a per-thread workspace pool.
-#[derive(Debug)]
+/// Work-gating granule: an executor is only engaged for every
+/// ~`FLOPS_PER_WORKER` of estimated batch work. At the ~3 flops/ns the
+/// measured ΔFD kernels sustain this is ≈50 µs of work per worker —
+/// an order of magnitude above the pool's wake+join rendezvous cost —
+/// so the parallel path is only taken when dispatch overhead is noise,
+/// replacing iLQR's old `nv >= 4` model-size heuristic with an
+/// estimated-FLOP threshold.
+pub const FLOPS_PER_WORKER: f64 = 1.5e5;
+
+/// Rough per-point cost estimate (total flops of one ΔFD evaluation)
+/// used for gating when the caller installs nothing better: calibrated
+/// against the measured `bench_derivatives` medians (iiwa ≈ 15 kflop,
+/// HyQ ≈ 60 kflop, Atlas ≈ 270 kflop). The paper-accurate model lives
+/// in `rbd_accel::ops::delta_fd_flops`.
+fn default_point_flops(model: &RobotModel) -> f64 {
+    250.0 * model.num_bodies() as f64 * model.nv() as f64 + 3000.0
+}
+
+/// Raw-pointer cell that lets the dispatched closure hand each executor
+/// `&mut` access to its own disjoint slot (workspace, scratch, output
+/// chunk).
+#[derive(Clone, Copy)]
+struct SlotPtr<T>(*mut T);
+
+// SAFETY: each executor dereferences only indices in its own disjoint
+// range/slot (enforced by the chunking in `for_each_with_scratch`), and
+// the caller blocks until all executors finish, so the pointee outlives
+// every access. The `T: Send` bound keeps the compiler enforcing that
+// everything shipped across pool threads is actually sendable.
+unsafe impl<T: Send> Send for SlotPtr<T> {}
+unsafe impl<T: Send> Sync for SlotPtr<T> {}
+
+impl<T> SlotPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper, not the bare raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Parallel batched evaluator with a persistent worker pool and
+/// per-executor workspace + user-scratch slots.
 pub struct BatchEval<'m> {
     model: &'m RobotModel,
-    pool: Vec<DynamicsWorkspace>,
+    /// One workspace per executor (caller = slot 0, workers = 1..).
+    workspaces: Vec<DynamicsWorkspace>,
+    /// Background threads; `None` for the 0/1-executor serial fallback.
+    pool: Option<WorkerPool>,
+    /// Estimated flops of one point, for work gating.
+    point_flops: f64,
+    /// Executors engaged by the most recent dispatch.
+    last_workers: usize,
+}
+
+impl std::fmt::Debug for BatchEval<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEval")
+            .field("model", &self.model.name())
+            .field("threads", &self.threads())
+            .field("point_flops", &self.point_flops)
+            .field("last_workers", &self.last_workers)
+            .finish()
+    }
 }
 
 impl<'m> BatchEval<'m> {
@@ -53,20 +130,26 @@ impl<'m> BatchEval<'m> {
         Self::with_threads(model, threads)
     }
 
-    /// Evaluator with an explicit worker count (`0` is clamped to 1).
+    /// Evaluator with an explicit executor count. `0` (and `1`) select
+    /// the serial fallback: no background threads are spawned and every
+    /// call runs inline on the caller. For `n >= 2`, `n - 1` persistent
+    /// background workers are spawned (the caller is executor 0).
     pub fn with_threads(model: &'m RobotModel, threads: usize) -> Self {
-        let threads = threads.max(1);
+        let executors = threads.max(1);
         Self {
             model,
-            pool: (0..threads)
+            workspaces: (0..executors)
                 .map(|_| DynamicsWorkspace::new(model))
                 .collect(),
+            pool: (executors > 1).then(|| WorkerPool::spawn(executors - 1)),
+            point_flops: default_point_flops(model),
+            last_workers: 0,
         }
     }
 
-    /// Number of workers.
+    /// Maximum number of executors (caller + persistent workers).
     pub fn threads(&self) -> usize {
-        self.pool.len()
+        self.workspaces.len()
     }
 
     /// The model this evaluator is bound to.
@@ -74,81 +157,87 @@ impl<'m> BatchEval<'m> {
         self.model
     }
 
-    /// Applies `f` to every item with a per-thread workspace, returning
-    /// the results in item order. `f(model, ws, index, item)` must depend
-    /// only on its arguments for the output to be thread-count
-    /// independent (true of all kernels in this crate).
-    pub fn map<I, T, F>(&mut self, items: &[I], f: F) -> Vec<T>
-    where
-        I: Sync,
-        T: Send,
-        F: Fn(&RobotModel, &mut DynamicsWorkspace, usize, &I) -> T + Sync,
-    {
-        let threads = self.pool.len().min(items.len()).max(1);
-        if threads <= 1 {
-            let ws = &mut self.pool[0];
-            return items
-                .iter()
-                .enumerate()
-                .map(|(k, it)| f(self.model, ws, k, it))
-                .collect();
-        }
-        let model = self.model;
-        let chunk = items.len().div_ceil(threads);
-        let mut results: Vec<Vec<T>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for (t, ws) in self.pool.iter_mut().take(threads).enumerate() {
-                let start = t * chunk;
-                let part = &items[start.min(items.len())..(start + chunk).min(items.len())];
-                if part.is_empty() {
-                    // Ceil-division chunking can leave trailing workers
-                    // with nothing to do; don't pay their spawn/join.
-                    continue;
-                }
-                let f = &f;
-                handles.push(scope.spawn(move || {
-                    part.iter()
-                        .enumerate()
-                        .map(|(k, it)| f(model, ws, start + k, it))
-                        .collect::<Vec<T>>()
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("batch worker panicked"));
-            }
-        });
-        let mut out = Vec::with_capacity(items.len());
-        for r in results {
-            out.extend(r);
-        }
-        out
+    /// Installs the estimated per-point cost (total flops) used by the
+    /// work gate. Defaults to a rough ΔFD estimate from the model's
+    /// body/DOF counts; consumers evaluating heavier per-point closures
+    /// (e.g. a full RK4 sensitivity chain) should install their own —
+    /// see `rbd_accel::ops::{delta_fd_flops, rk4_sens_point_flops}`.
+    pub fn set_point_flops(&mut self, flops: f64) {
+        self.point_flops = flops.max(1.0);
     }
 
-    /// Applies `f` to every `(item, out)` pair with a per-thread
-    /// workspace, writing results into the caller's slots — the
-    /// zero-allocation form of [`BatchEval::map`]. Returns the first
-    /// error in item order, if any (all items are still evaluated).
+    /// Builder-style [`BatchEval::set_point_flops`].
+    #[must_use]
+    pub fn with_point_flops(mut self, flops: f64) -> Self {
+        self.set_point_flops(flops);
+        self
+    }
+
+    /// Executors engaged by the most recent `map`/`for_each` dispatch
+    /// (1 = ran inline on the caller). 0 before the first dispatch.
+    pub fn last_workers(&self) -> usize {
+        self.last_workers
+    }
+
+    /// Work gate: how many executors to engage for `n_items` points of
+    /// the configured per-point cost.
+    fn effective_workers(&self, n_items: usize) -> usize {
+        let total = self.point_flops * n_items as f64;
+        let by_work = (total / FLOPS_PER_WORKER) as usize;
+        by_work.clamp(1, self.threads().min(n_items.max(1)))
+    }
+
+    /// Applies `f` to every `(item, out)` pair with a per-executor
+    /// workspace **and user scratch slot**, writing results into the
+    /// caller's slots — the zero-allocation core every other entry point
+    /// builds on. `scratch` must hold at least [`BatchEval::threads`]
+    /// slots (slot `w` is private to executor `w`; slot 0 serves the
+    /// serial path). Returns the first error in item order, if any (all
+    /// items are still evaluated).
+    ///
+    /// `f(model, ws, scratch, index, item, out)` must depend only on its
+    /// arguments for the output to be executor-count independent (true
+    /// of all kernels in this crate), which makes the results
+    /// bit-identical to the serial loop at any worker count.
     ///
     /// # Errors
-    /// Propagates the first `Err` produced by `f`.
+    /// Propagates the `Err` with the smallest item index.
     ///
     /// # Panics
-    /// Panics if `items` and `outs` lengths differ.
-    pub fn for_each_into<I, T, E, F>(&mut self, items: &[I], outs: &mut [T], f: F) -> Result<(), E>
+    /// Panics if `items`/`outs` lengths differ or `scratch` is shorter
+    /// than [`BatchEval::threads`]; re-raises worker panics after the
+    /// pool has quiesced (the pool survives for subsequent calls).
+    pub fn for_each_with_scratch<I, T, S, E, F>(
+        &mut self,
+        items: &[I],
+        outs: &mut [T],
+        scratch: &mut [S],
+        f: F,
+    ) -> Result<(), E>
     where
         I: Sync,
         T: Send,
+        S: Send,
         E: Send,
-        F: Fn(&RobotModel, &mut DynamicsWorkspace, usize, &I, &mut T) -> Result<(), E> + Sync,
+        F: Fn(&RobotModel, &mut DynamicsWorkspace, &mut S, usize, &I, &mut T) -> Result<(), E>
+            + Sync,
     {
         assert_eq!(items.len(), outs.len(), "items/outs length mismatch");
-        let threads = self.pool.len().min(items.len()).max(1);
-        if threads <= 1 {
-            let ws = &mut self.pool[0];
+        assert!(
+            scratch.len() >= self.threads(),
+            "need one scratch slot per executor ({} < {})",
+            scratch.len(),
+            self.threads()
+        );
+        let par = self.effective_workers(items.len());
+        self.last_workers = par;
+        let model = self.model;
+        if par <= 1 || self.pool.is_none() {
+            let ws = &mut self.workspaces[0];
+            let sc = &mut scratch[0];
             let mut first_err = None;
             for (k, (it, out)) in items.iter().zip(outs.iter_mut()).enumerate() {
-                if let Err(e) = f(self.model, ws, k, it, out) {
+                if let Err(e) = f(model, ws, sc, k, it, out) {
                     if first_err.is_none() {
                         first_err = Some(e);
                     }
@@ -159,42 +248,111 @@ impl<'m> BatchEval<'m> {
                 None => Ok(()),
             };
         }
-        let model = self.model;
-        let chunk = items.len().div_ceil(threads);
-        let mut errs: Vec<Option<(usize, E)>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            let mut rest = outs;
-            for (t, ws) in self.pool.iter_mut().take(threads).enumerate() {
-                let start = t * chunk;
-                let end = (start + chunk).min(items.len());
-                let part = &items[start.min(items.len())..end];
-                if part.is_empty() {
-                    continue;
-                }
-                let (mine, tail) = rest.split_at_mut(part.len());
-                rest = tail;
-                let f = &f;
-                handles.push(scope.spawn(move || {
-                    let mut first: Option<(usize, E)> = None;
-                    for (k, (it, out)) in part.iter().zip(mine.iter_mut()).enumerate() {
-                        if let Err(e) = f(model, ws, start + k, it, out) {
-                            if first.is_none() {
-                                first = Some((start + k, e));
-                            }
-                        }
+
+        let n = items.len();
+        let chunk = n.div_ceil(par);
+        // First error by item index, shared across executors. Lives on
+        // the caller's stack: no steady-state heap allocation.
+        let first_err: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        let ws_ptr = SlotPtr(self.workspaces.as_mut_ptr());
+        let sc_ptr = SlotPtr(scratch.as_mut_ptr());
+        let out_ptr = SlotPtr(outs.as_mut_ptr());
+        let task = |w: usize| {
+            let start = w * chunk;
+            if start >= n {
+                return;
+            }
+            let end = (start + chunk).min(n);
+            // SAFETY: executor `w` exclusively owns workspace/scratch
+            // slot `w` and output indices `start..end`; ranges of
+            // distinct executors are disjoint and the caller blocks in
+            // `WorkerPool::run` until all executors finish.
+            let ws = unsafe { &mut *ws_ptr.get().add(w) };
+            let sc = unsafe { &mut *sc_ptr.get().add(w) };
+            for (k, item) in items.iter().enumerate().take(end).skip(start) {
+                let out = unsafe { &mut *out_ptr.get().add(k) };
+                if let Err(e) = f(model, ws, sc, k, item, out) {
+                    let mut g = first_err
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if g.as_ref().is_none_or(|(j, _)| k < *j) {
+                        *g = Some((k, e));
                     }
-                    first
-                }));
+                }
             }
-            for h in handles {
-                errs.push(h.join().expect("batch worker panicked"));
-            }
-        });
-        match errs.into_iter().flatten().min_by_key(|(k, _)| *k) {
+        };
+        self.pool
+            .as_mut()
+            .expect("pool present when par > 1")
+            .run(par, &task);
+        match first_err
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             Some((_, e)) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// [`BatchEval::for_each_with_scratch`] without a user scratch slot
+    /// (the per-executor [`DynamicsWorkspace`] is still provided).
+    ///
+    /// # Errors
+    /// Propagates the `Err` with the smallest item index.
+    ///
+    /// # Panics
+    /// Panics if `items` and `outs` lengths differ.
+    pub fn for_each_into<I, T, E, F>(&mut self, items: &[I], outs: &mut [T], f: F) -> Result<(), E>
+    where
+        I: Sync,
+        T: Send,
+        E: Send,
+        F: Fn(&RobotModel, &mut DynamicsWorkspace, usize, &I, &mut T) -> Result<(), E> + Sync,
+    {
+        // A `Vec` of zero-sized units never touches the heap.
+        let mut unit: Vec<()> = vec![(); self.threads()];
+        self.for_each_with_scratch(items, outs, &mut unit, |model, ws, (), k, it, out| {
+            f(model, ws, k, it, out)
+        })
+    }
+
+    /// Applies `f` to every item with a per-executor workspace and user
+    /// scratch slot, returning the results in item order (allocates the
+    /// result vector; use [`BatchEval::for_each_with_scratch`] on hot
+    /// paths).
+    ///
+    /// # Panics
+    /// Panics if `scratch` is shorter than [`BatchEval::threads`];
+    /// re-raises worker panics.
+    pub fn map_with_scratch<I, T, S, F>(&mut self, items: &[I], scratch: &mut [S], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        S: Send,
+        F: Fn(&RobotModel, &mut DynamicsWorkspace, &mut S, usize, &I) -> T + Sync,
+    {
+        let mut outs: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+        let ok: Result<(), std::convert::Infallible> =
+            self.for_each_with_scratch(items, &mut outs, scratch, |model, ws, sc, k, it, out| {
+                *out = Some(f(model, ws, sc, k, it));
+                Ok(())
+            });
+        ok.expect("infallible");
+        outs.into_iter()
+            .map(|o| o.expect("every item evaluated"))
+            .collect()
+    }
+
+    /// Applies `f` to every item with a per-executor workspace,
+    /// returning the results in item order.
+    pub fn map<I, T, F>(&mut self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&RobotModel, &mut DynamicsWorkspace, usize, &I) -> T + Sync,
+    {
+        let mut unit: Vec<()> = vec![(); self.threads()];
+        self.map_with_scratch(items, &mut unit, |model, ws, (), k, it| f(model, ws, k, it))
     }
 
     /// Batched `ΔFD` over sampling points `(q, q̇, τ)`: fills `outs[k]`
@@ -252,7 +410,7 @@ mod tests {
 
     #[test]
     fn batch_matches_serial_fd_derivatives() {
-        for threads in [1, 2, 4] {
+        for threads in [0, 1, 2, 4] {
             let model = robots::hyq();
             let pts = points(&model, 11);
             let mut batch = BatchEval::with_threads(&model, threads);
@@ -309,13 +467,16 @@ mod tests {
 
     #[test]
     fn uneven_chunking_with_trailing_empty_worker() {
-        // 5 items over a 4-workspace pool ceil-chunks as 2,2,1,0 — the
-        // empty trailing chunk must be skipped without losing order.
+        // 5 items over 4 executors ceil-chunk as 2,2,1,0 when the work
+        // gate engages all of them — the empty trailing chunk must be a
+        // no-op without losing order. Force full engagement with a huge
+        // per-point cost.
         let model = robots::iiwa();
-        let mut batch = BatchEval::with_threads(&model, 4);
+        let mut batch = BatchEval::with_threads(&model, 4).with_point_flops(1e9);
         let items: Vec<usize> = (0..5).collect();
         let out = batch.map(&items, |_, _, idx, &item| (idx, item));
         assert_eq!(out, (0..5).map(|k| (k, k)).collect::<Vec<_>>());
+        assert_eq!(batch.last_workers(), 4);
 
         let pts = points(&model, 5);
         let mut outs = vec![FdDerivatives::zeros(model.nv()); pts.len()];
@@ -339,6 +500,7 @@ mod tests {
         let mut outs = vec![FdDerivatives::zeros(model.nv()); pts.len()];
         batch.fd_derivatives_batch(&pts, &mut outs).unwrap();
         assert_eq!(batch.threads(), 8);
+        assert!(batch.last_workers() <= 2, "gate must clamp to item count");
         let mut ws = DynamicsWorkspace::new(&model);
         let serial =
             fd_derivatives(&model, &mut ws, &pts[1].0, &pts[1].1, &pts[1].2, None).unwrap();
@@ -353,5 +515,124 @@ mod tests {
         batch.fd_derivatives_batch(&[], &mut outs).unwrap();
         let out: Vec<u32> = batch.map(&[] as &[usize], |_, _, _, _| 1);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn work_gate_serializes_tiny_batches() {
+        // A couple of cheap points is far below FLOPS_PER_WORKER, so the
+        // dispatch must stay inline even with a big pool.
+        let model = robots::serial_chain(2);
+        let mut batch = BatchEval::with_threads(&model, 4);
+        let pts = points(&model, 3);
+        let mut outs = vec![FdDerivatives::zeros(model.nv()); pts.len()];
+        batch.fd_derivatives_batch(&pts, &mut outs).unwrap();
+        assert_eq!(batch.last_workers(), 1);
+
+        // Scaling the per-point estimate up forces the parallel path.
+        batch.set_point_flops(1e9);
+        batch.fd_derivatives_batch(&pts, &mut outs).unwrap();
+        assert_eq!(batch.last_workers(), 3, "clamped by item count");
+    }
+
+    #[test]
+    fn map_with_scratch_gives_each_executor_its_slot() {
+        let model = robots::iiwa();
+        let mut batch = BatchEval::with_threads(&model, 3).with_point_flops(1e9);
+        let items: Vec<usize> = (0..12).collect();
+        // Each executor counts its items in its own scratch slot.
+        let mut tallies = vec![0usize; batch.threads()];
+        let out = batch.map_with_scratch(&items, &mut tallies, |_, _, tally, idx, &item| {
+            *tally += 1;
+            idx + item
+        });
+        assert_eq!(out, (0..12).map(|k| 2 * k).collect::<Vec<_>>());
+        assert_eq!(tallies.iter().sum::<usize>(), items.len());
+        assert!(
+            tallies.iter().filter(|&&t| t > 0).count() >= 2,
+            "expected multiple executors to participate: {tallies:?}"
+        );
+    }
+
+    #[test]
+    fn error_with_smallest_index_wins() {
+        let model = robots::iiwa();
+        for threads in [1, 4] {
+            let mut batch = BatchEval::with_threads(&model, threads).with_point_flops(1e9);
+            let items: Vec<usize> = (0..16).collect();
+            let mut outs = vec![0usize; 16];
+            let r = batch.for_each_into(&items, &mut outs, |_, _, _k, &it, out| {
+                *out = it;
+                if it >= 5 {
+                    Err(it)
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(r, Err(5), "{threads} threads");
+            // All items were still evaluated.
+            assert_eq!(outs, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let model = robots::iiwa();
+        let mut batch = BatchEval::with_threads(&model, 4).with_point_flops(1e9);
+        let items: Vec<usize> = (0..8).collect();
+
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch.map(&items, |_, _, _, &it| {
+                if it == 6 {
+                    panic!("batch closure failed at {it}");
+                }
+                it
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("batch closure failed at 6"),
+            "payload preserved, got: {msg:?}"
+        );
+
+        // The pool is not poisoned: the same evaluator keeps working.
+        let out = batch.map(&items, |_, _, idx, &it| idx + it);
+        assert_eq!(out, (0..8).map(|k| 2 * k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        // Dropping an active pool must join every worker (a hang here
+        // fails the test harness); repeat a few times to cover spawn +
+        // immediate teardown and teardown right after a dispatch.
+        let model = robots::iiwa();
+        for _ in 0..3 {
+            let mut batch = BatchEval::with_threads(&model, 3).with_point_flops(1e9);
+            let items: Vec<usize> = (0..6).collect();
+            let out = batch.map(&items, |_, _, _, &it| it);
+            assert_eq!(out, items);
+            drop(batch);
+        }
+        // Spawn-and-drop without ever dispatching.
+        drop(BatchEval::with_threads(&model, 5));
+    }
+
+    #[test]
+    fn zero_worker_serial_fallback() {
+        let model = robots::hyq();
+        let mut batch = BatchEval::with_threads(&model, 0);
+        assert_eq!(batch.threads(), 1);
+        let pts = points(&model, 4);
+        let mut outs = vec![FdDerivatives::zeros(model.nv()); pts.len()];
+        batch.fd_derivatives_batch(&pts, &mut outs).unwrap();
+        assert_eq!(batch.last_workers(), 1);
+        let mut ws = DynamicsWorkspace::new(&model);
+        for (k, (q, qd, tau)) in pts.iter().enumerate() {
+            let serial = fd_derivatives(&model, &mut ws, q, qd, tau, None).unwrap();
+            assert_eq!((&outs[k].dqdd_dq - &serial.dqdd_dq).max_abs(), 0.0, "{k}");
+        }
     }
 }

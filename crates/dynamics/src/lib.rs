@@ -38,10 +38,13 @@
 //!
 //! Independent sampling points — the LQ approximation of an MPC
 //! iteration (Fig 2c), the Fig 13 RK4 sensitivity chains — go through
-//! [`BatchEval`]: a pool of per-thread workspaces fanned out with
-//! `std::thread::scope`. Per-point outputs are written to per-point
-//! slots, so the result is identical to the serial loop for any worker
-//! count.
+//! [`BatchEval`]: a **persistent worker pool** (spawned once, futex
+//! rendezvous per dispatch, allocation-free in steady state) with one
+//! workspace plus an optional caller-provided scratch slot per
+//! executor, and estimated-FLOP work gating that keeps small batches
+//! inline on the caller. Per-point outputs are written to per-point
+//! slots, so the result is bit-identical to the serial loop for any
+//! worker count.
 //!
 //! # Example
 //!
@@ -70,11 +73,12 @@ pub mod finite_diff;
 pub mod jacobian;
 pub mod mminv;
 pub mod momentum;
+mod pool;
 pub mod rnea;
 pub mod workspace;
 
 pub use aba::aba;
-pub use batch::{BatchEval, SamplePoint};
+pub use batch::{BatchEval, SamplePoint, FLOPS_PER_WORKER};
 pub use crba::{crba, crba_into};
 pub use derivatives::{rnea_derivatives, rnea_derivatives_into, RneaDerivatives};
 pub use energy::{kinetic_energy, potential_energy, total_energy};

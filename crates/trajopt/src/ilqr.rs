@@ -4,11 +4,76 @@
 //! Restricted to vector-space configuration models (`nq == nv`), which
 //! covers the fixed-base arms the optimizer examples use.
 
-use crate::integrator::{rk4_step, rk4_step_with_sensitivity, StepJacobians};
+use crate::integrator::{rk4_step, rk4_step_with_sensitivity_into, Rk4SensScratch, StepJacobians};
 use rbd_dynamics::{BatchEval, DynamicsWorkspace};
 use rbd_model::RobotModel;
 use rbd_spatial::{MatN, VecN};
 use std::time::Instant;
+
+/// Per-executor scratch for the batched LQ approximation: one RK4
+/// sensitivity scratch plus the (discarded) next-state output buffers.
+/// Hold one per [`BatchEval`] executor and the whole batched LQ chain
+/// ([`lq_jacobians_batched`]) runs without steady-state heap allocation
+/// — proven end-to-end in `crates/trajopt/tests/zero_alloc.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct LqScratch {
+    sens: Rk4SensScratch,
+    q_next: Vec<f64>,
+    qd_next: Vec<f64>,
+}
+
+impl LqScratch {
+    /// Scratch pre-sized for `model` (also grows lazily on first use).
+    pub fn for_model(model: &RobotModel) -> Self {
+        Self {
+            sens: Rk4SensScratch::for_model(model),
+            q_next: vec![0.0; model.nq()],
+            qd_next: vec![0.0; model.nv()],
+        }
+    }
+}
+
+/// The batched LQ approximation: evaluates the discrete step Jacobians
+/// at every `(traj[k], us[k])` sampling point through `batch`'s worker
+/// pool, writing into `jacs[k]`. The sampling points are independent
+/// (Fig 2c/13), so this fans out across however many executors the
+/// work gate engages — with **bit-identical results at any worker
+/// count** — and performs zero steady-state heap allocation once
+/// `jacs`/`scratch` are warm (one [`LqScratch`] per executor).
+///
+/// # Panics
+/// Panics if `us`/`jacs` lengths differ, `traj` is shorter than `us`,
+/// `scratch` has fewer slots than `batch.threads()`, or forward
+/// dynamics fails at a sampling point.
+pub fn lq_jacobians_batched(
+    batch: &mut BatchEval,
+    dt: f64,
+    traj: &[(Vec<f64>, Vec<f64>)],
+    us: &[Vec<f64>],
+    jacs: &mut [StepJacobians],
+    scratch: &mut [LqScratch],
+) {
+    assert_eq!(us.len(), jacs.len(), "us/jacs length mismatch");
+    assert!(traj.len() >= us.len(), "trajectory shorter than controls");
+    let ok: Result<(), std::convert::Infallible> =
+        batch.for_each_with_scratch(us, jacs, scratch, |model, ws, s, k, u, jac| {
+            let (q, qd) = &traj[k];
+            rk4_step_with_sensitivity_into(
+                model,
+                ws,
+                &mut s.sens,
+                q,
+                qd,
+                u,
+                dt,
+                &mut s.q_next,
+                &mut s.qd_next,
+                jac,
+            );
+            Ok(())
+        });
+    ok.expect("infallible");
+}
 
 /// iLQR hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,26 +166,24 @@ struct IlqrScratch<'m> {
     cross: MatN,
     k_ff: Vec<VecN>,
     k_fb: Vec<MatN>,
-    steps: Vec<usize>,
+    jacs: Vec<StepJacobians>,
+    lq: Vec<LqScratch>,
 }
 
 impl<'m> IlqrScratch<'m> {
     fn new(model: &'m RobotModel, horizon: usize) -> Self {
         let nv = model.nv();
         let nx = 2 * nv;
-        // For very small models a per-point ΔFD is only a few µs, so
-        // OS-thread spawn/join per LQ pass would cost more than the
-        // serial loop it replaces — stay serial below ~4 DOF.
-        let workers = if nv >= 4 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            1
-        };
+        // The pool is sized to the host; whether a given LQ pass
+        // actually fans out is decided per dispatch by BatchEval's
+        // estimated-FLOP work gate (fed with the paper's RK4-point cost
+        // model), replacing the old `nv >= 4` model-size heuristic.
+        let batch =
+            BatchEval::new(model).with_point_flops(rbd_accel::ops::rk4_sens_point_flops(model));
+        let executors = batch.threads();
         Self {
             ws: DynamicsWorkspace::new(model),
-            batch: BatchEval::with_threads(model, workers),
+            batch,
             vx: VecN::zeros(nx),
             vxx: MatN::zeros(nx, nx),
             at: MatN::zeros(nx, nx),
@@ -144,7 +207,10 @@ impl<'m> IlqrScratch<'m> {
             cross: MatN::zeros(nx, nx),
             k_ff: (0..horizon).map(|_| VecN::zeros(nv)).collect(),
             k_fb: (0..horizon).map(|_| MatN::zeros(nv, nx)).collect(),
-            steps: (0..horizon).collect(),
+            jacs: (0..horizon).map(|_| StepJacobians::zeros(nv)).collect(),
+            lq: (0..executors)
+                .map(|_| LqScratch::for_model(model))
+                .collect(),
         }
     }
 }
@@ -176,6 +242,12 @@ impl<'m> Ilqr<'m> {
             goal: q_goal,
             scratch: IlqrScratch::new(model, options.horizon),
         }
+    }
+
+    /// Executors the most recent LQ dispatch engaged (1 = the work gate
+    /// kept the batch inline on the caller; 0 before the first solve).
+    pub fn lq_workers(&self) -> usize {
+        self.scratch.batch.last_workers()
     }
 
     /// Runs the optimizer from `(q0, qd0)` with zero initial controls.
@@ -226,7 +298,8 @@ impl<'m> Ilqr<'m> {
             cross,
             k_ff,
             k_fb,
-            steps,
+            jacs,
+            lq,
         } = scratch;
         let mut us = vec![vec![0.0; nv]; o.horizon];
         let (mut lq_t, mut solver_t, mut rollout_t) = (0.0, 0.0, 0.0);
@@ -240,17 +313,10 @@ impl<'m> Ilqr<'m> {
 
         for _ in 0..o.max_iters {
             // ---- LQ approximation (batched across sampling points,
-            //      one workspace per worker; Fig 2c).
+            //      one workspace + scratch slot per executor; Fig 2c).
+            //      Fully preallocated: zero steady-state allocation.
             let t = Instant::now();
-            let jacs: Vec<StepJacobians> = {
-                let traj_ref = &traj;
-                let us_ref = &us;
-                batch.map(steps, |model, ws, _, &k| {
-                    let (q, qd) = &traj_ref[k];
-                    let (_, _, j) = rk4_step_with_sensitivity(model, ws, q, qd, &us_ref[k], o.dt);
-                    j
-                })
-            };
+            lq_jacobians_batched(batch, o.dt, &traj, &us, jacs, lq);
             lq_t += t.elapsed().as_secs_f64();
 
             // ---- Backward Riccati pass (serial, allocation-free).

@@ -19,6 +19,17 @@ pub struct StepJacobians {
     pub b: MatN,
 }
 
+impl StepJacobians {
+    /// Zero-initialized Jacobians sized for an `nv`-DOF model (the shape
+    /// [`rk4_step_with_sensitivity_into`] writes).
+    pub fn zeros(nv: usize) -> Self {
+        Self {
+            a: MatN::zeros(2 * nv, 2 * nv),
+            b: MatN::zeros(2 * nv, nv),
+        }
+    }
+}
+
 /// One semi-implicit Euler step: `q̇⁺ = q̇ + h·FD`, `q⁺ = q ⊕ h·q̇⁺`.
 ///
 /// # Panics
@@ -79,7 +90,7 @@ pub fn rk4_step(
 }
 
 /// Tangent-space derivative bookkeeping of one RK4 stage quantity.
-#[derive(Clone, Default)]
+#[derive(Debug, Clone, Default)]
 struct Sens {
     /// w.r.t. δq (nv × nv)
     dq: MatN,
@@ -130,7 +141,7 @@ impl Sens {
 /// staging matrix and the intermediate stage-state vectors. Holding one
 /// of these per evaluation thread makes the whole LQ approximation
 /// allocation-free in steady state.
-#[derive(Clone, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Rk4SensScratch {
     d: FdDerivatives,
     tmp: MatN,

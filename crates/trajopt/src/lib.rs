@@ -18,7 +18,7 @@ pub mod mpc;
 pub mod scheduler;
 pub mod workload;
 
-pub use ilqr::{Ilqr, IlqrOptions, IlqrResult};
+pub use ilqr::{lq_jacobians_batched, Ilqr, IlqrOptions, IlqrResult, LqScratch};
 pub use integrator::{
     rk4_step, rk4_step_with_sensitivity, rk4_step_with_sensitivity_into, semi_implicit_euler_step,
     Rk4SensScratch, StepJacobians,

@@ -4,7 +4,8 @@
 //! worker threads through [`BatchEval`] (the Fig 13
 //! pipeline-vs-multithread comparison's software side).
 
-use crate::integrator::rk4_step_with_sensitivity;
+use crate::ilqr::{lq_jacobians_batched, LqScratch};
+use crate::integrator::{rk4_step_with_sensitivity_into, Rk4SensScratch, StepJacobians};
 use rbd_dynamics::{BatchEval, DynamicsWorkspace, FdDerivatives};
 use rbd_model::{random_state, RobotModel};
 use rbd_spatial::MatN;
@@ -29,7 +30,9 @@ pub struct WorkloadProfile {
     /// `batch_threads` workers (equals the serial path for 1 worker, up
     /// to scheduling overhead).
     pub lq_batch_s: f64,
-    /// Worker threads used for `lq_batch_s`.
+    /// Executors the work gate actually engaged for `lq_batch_s`
+    /// (1 = the batch ran inline on the caller; can be below the
+    /// requested thread count for small models/point counts).
     pub batch_threads: usize,
 }
 
@@ -115,25 +118,65 @@ pub fn profile_mpc_iteration_threaded(
         timed_dfd(&mut ws, &q4, &qd4);
     }
 
-    // Full LQ approximation (RK4 sensitivities per point), serial.
+    // Full LQ approximation (RK4 sensitivities per point), serial — on
+    // the same zero-allocation `_into` kernel the batched path uses, so
+    // the serial/batched comparison isolates the pool, not allocation
+    // behavior. All buffers are pre-sized: steady state from call one.
+    let mut sens = Rk4SensScratch::for_model(model);
+    let mut q_next = vec![0.0; model.nq()];
+    let mut qd_next = vec![0.0; nv];
+    let mut jacs: Vec<StepJacobians> = (0..n_points).map(|_| StepJacobians::zeros(nv)).collect();
     let t = Instant::now();
-    let mut jacs = Vec::with_capacity(n_points);
-    for s in &states {
-        let (_, _, j) = rk4_step_with_sensitivity(model, &mut ws, &s.q, &s.qd, &tau, dt);
-        jacs.push(j);
+    for (s, jac) in states.iter().zip(jacs.iter_mut()) {
+        rk4_step_with_sensitivity_into(
+            model,
+            &mut ws,
+            &mut sens,
+            &s.q,
+            &s.qd,
+            &tau,
+            dt,
+            &mut q_next,
+            &mut qd_next,
+            jac,
+        );
     }
     let lq_approx_s = t.elapsed().as_secs_f64();
 
-    // Same LQ approximation, batched across worker threads (the
-    // embarrassingly-parallel axis of Fig 13).
-    let mut batch = BatchEval::with_threads(model, threads);
+    // Same LQ approximation, batched across the persistent worker pool
+    // (the embarrassingly-parallel axis of Fig 13) on the
+    // zero-allocation scratch-slot path; the first call warms the
+    // buffers so the timed call measures the steady state an MPC loop
+    // lives in.
+    let mut batch = BatchEval::with_threads(model, threads)
+        .with_point_flops(rbd_accel::ops::rk4_sens_point_flops(model));
+    let traj: Vec<(Vec<f64>, Vec<f64>)> =
+        states.iter().map(|s| (s.q.clone(), s.qd.clone())).collect();
+    let us = vec![tau.clone(); n_points];
+    let mut batched_jacs: Vec<StepJacobians> =
+        (0..n_points).map(|_| StepJacobians::zeros(nv)).collect();
+    let mut lq_scratch: Vec<LqScratch> = (0..batch.threads())
+        .map(|_| LqScratch::for_model(model))
+        .collect();
+    lq_jacobians_batched(
+        &mut batch,
+        dt,
+        &traj,
+        &us,
+        &mut batched_jacs,
+        &mut lq_scratch,
+    );
     let t = Instant::now();
-    let batched = batch.map(&states, |model, ws, _, s| {
-        let (_, _, j) = rk4_step_with_sensitivity(model, ws, &s.q, &s.qd, &tau, dt);
-        j
-    });
+    lq_jacobians_batched(
+        &mut batch,
+        dt,
+        &traj,
+        &us,
+        &mut batched_jacs,
+        &mut lq_scratch,
+    );
     let lq_batch_s = t.elapsed().as_secs_f64();
-    std::hint::black_box(&batched);
+    std::hint::black_box(&batched_jacs);
 
     // Serial backward sweep over the Jacobians (Riccati-like chain).
     let t = Instant::now();
@@ -166,7 +209,7 @@ pub fn profile_mpc_iteration_threaded(
         solver_s,
         other_s,
         lq_batch_s,
-        batch_threads: batch.threads(),
+        batch_threads: batch.last_workers().max(1),
     }
 }
 

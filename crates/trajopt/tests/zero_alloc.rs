@@ -6,10 +6,13 @@
 //! Kept as a single `#[test]` so no concurrently running test can
 //! pollute the process-global counter.
 
-use rbd_dynamics::DynamicsWorkspace;
+use rbd_dynamics::{BatchEval, DynamicsWorkspace};
 use rbd_model::{integrate_config_into, random_state, robots};
 use rbd_spatial::MatN;
-use rbd_trajopt::{rk4_step_with_sensitivity_into, Rk4SensScratch, StepJacobians};
+use rbd_trajopt::{
+    lq_jacobians_batched, rk4_step, rk4_step_with_sensitivity_into, LqScratch, Rk4SensScratch,
+    StepJacobians,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -107,4 +110,55 @@ fn rk4_sensitivity_chain_does_not_allocate_in_steady_state() {
         });
         assert_eq!(count, 0, "integrate_config_into allocated {count} time(s)");
     }
+}
+
+#[test]
+fn batched_multi_worker_lq_phase_does_not_allocate_in_steady_state() {
+    // The *whole* batched LQ approximation — persistent-pool dispatch,
+    // per-executor workspace + Rk4SensScratch slots, the four-stage ΔFD
+    // chain at every sampling point, and the Jacobian writes — must be
+    // allocation-free once warm, with multiple workers actually engaged.
+    // The counting allocator is process-global, so worker-thread
+    // allocations are counted too: this covers the
+    // `for_each_with_scratch` dispatch path end to end.
+    let model = robots::iiwa();
+    let nv = model.nv();
+    let horizon = 40;
+    let dt = 0.01;
+    let mut batch = BatchEval::with_threads(&model, 4)
+        .with_point_flops(rbd_accel::ops::rk4_sens_point_flops(&model));
+
+    // A short rollout provides the sampling points (allocates; outside
+    // the counted window).
+    let mut ws = DynamicsWorkspace::new(&model);
+    let s = random_state(&model, 5);
+    let us: Vec<Vec<f64>> = (0..horizon)
+        .map(|k| (0..nv).map(|i| 0.2 - 0.01 * (k + i) as f64).collect())
+        .collect();
+    let mut traj = vec![(s.q.clone(), s.qd.clone())];
+    for u in &us {
+        let (q, qd) = traj.last().unwrap();
+        traj.push(rk4_step(&model, &mut ws, q, qd, u, dt));
+    }
+    let mut jacs: Vec<StepJacobians> = (0..horizon).map(|_| StepJacobians::zeros(nv)).collect();
+    let mut scratch: Vec<LqScratch> = (0..batch.threads())
+        .map(|_| LqScratch::for_model(&model))
+        .collect();
+
+    // Warm-up: sizes every per-executor buffer.
+    lq_jacobians_batched(&mut batch, dt, &traj, &us, &mut jacs, &mut scratch);
+    assert_eq!(
+        batch.last_workers(),
+        4,
+        "work gate must engage all four executors for this batch"
+    );
+
+    let count = alloc_count(|| {
+        lq_jacobians_batched(&mut batch, dt, &traj, &us, &mut jacs, &mut scratch);
+    });
+    assert_eq!(
+        count, 0,
+        "multi-worker batched LQ phase allocated {count} time(s)"
+    );
+    assert_eq!(batch.last_workers(), 4);
 }

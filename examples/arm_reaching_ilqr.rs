@@ -44,6 +44,11 @@ fn main() {
         100.0 * result.rollout_time_s / total
     );
     println!(
+        "LQ batch executors engaged: {} (estimated-FLOP work gate over the \
+         persistent worker pool)",
+        ilqr.lq_workers()
+    );
+    println!(
         "the LQ approximation is the batched ΔFD workload Dadu-RBD accelerates\n\
          (see `cargo run -p rbd-bench --bin sec6b_end_to_end`)."
     );
