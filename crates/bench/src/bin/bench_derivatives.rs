@@ -1,20 +1,29 @@
 //! Derivative-throughput benchmark: single-thread latency of the
-//! ΔRNEA/ΔFD kernels (allocating wrappers and the zero-allocation
-//! `*_into` fast path) plus batched multi-thread throughput through
-//! `BatchEval`, emitting a machine-readable `BENCH_derivatives.json` so
-//! future PRs have a perf trajectory to compare against.
+//! ΔRNEA/ΔFD kernels (allocating wrappers, the zero-allocation `*_into`
+//! fast path, and both ΔID backends explicitly) plus batched
+//! multi-thread throughput through `BatchEval`, emitting a
+//! machine-readable `BENCH_derivatives.json` so future PRs have a perf
+//! trajectory to compare against. The report embeds host metadata (CPU
+//! count, `RBD_*` knobs, ISO-8601 timestamp) so committed rows are
+//! self-describing across machines.
 //!
 //! Run with `cargo run --release -p rbd-bench --bin bench_derivatives`.
 
-use rbd_bench::harness::{Bench, BenchReport};
+use rbd_bench::harness::{iso8601_utc, Bench, BenchReport, HostMeta};
 use rbd_dynamics::{
-    fd_derivatives, fd_derivatives_into, rnea_derivatives, rnea_derivatives_into, BatchEval,
+    fd_derivatives, fd_derivatives_into, fd_derivatives_with_algo_into, rnea_derivatives,
+    rnea_derivatives_into, rnea_derivatives_with_algo_into, BatchEval, DerivAlgo,
     DynamicsWorkspace, FdDerivatives, RneaDerivatives, SamplePoint,
 };
 use rbd_model::{random_state, robots};
 
 fn main() {
     let mut report = BenchReport::default();
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    report.set_meta(HostMeta::collect(iso8601_utc(now)));
 
     for model in robots::paper_robots() {
         let name = model.name().to_string();
@@ -33,18 +42,36 @@ fn main() {
             fd_derivatives(&model, &mut ws, &s.q, &s.qd, &tau, None).unwrap()
         });
 
-        // Zero-allocation fast path (outputs reused across calls).
+        // Zero-allocation fast path with the default backend (outputs
+        // reused across calls), plus one explicit row per ΔID backend so
+        // the expansion-vs-IDSVA gap stays measured even as the default
+        // moves.
         {
             let mut out = RneaDerivatives::zeros(nv);
             group.bench("dID_into", || {
                 rnea_derivatives_into(&model, &mut ws, &s.q, &s.qd, &qdd, None, &mut out);
             });
+            for algo in [DerivAlgo::Expansion, DerivAlgo::Idsva] {
+                group.bench(&format!("dID_{algo}"), || {
+                    rnea_derivatives_with_algo_into(
+                        &model, &mut ws, &s.q, &s.qd, &qdd, None, algo, &mut out,
+                    );
+                });
+            }
         }
         {
             let mut out = FdDerivatives::zeros(nv);
             group.bench("dFD_into", || {
                 fd_derivatives_into(&model, &mut ws, &s.q, &s.qd, &tau, None, &mut out).unwrap();
             });
+            for algo in [DerivAlgo::Expansion, DerivAlgo::Idsva] {
+                group.bench(&format!("dFD_{algo}"), || {
+                    fd_derivatives_with_algo_into(
+                        &model, &mut ws, &s.q, &s.qd, &tau, None, algo, &mut out,
+                    )
+                    .unwrap();
+                });
+            }
         }
 
         // Batched throughput: 64 points through the persistent worker

@@ -28,7 +28,14 @@ pub struct BenchCase {
 /// `median_ns`, unterminated string, non-numeric median).
 pub fn parse_report(json: &str) -> Result<Vec<BenchCase>, String> {
     let mut cases = Vec::new();
-    let mut rest = json;
+    // Skip the optional host-metadata block (`"meta": {...}`, emitted
+    // since the reports became self-describing): scanning only from the
+    // `"benchmarks"` array keeps any metadata key/value — present or
+    // future — from being misread as a case.
+    let mut rest = match json.find("\"benchmarks\"") {
+        Some(pos) => &json[pos..],
+        None => json,
+    };
     while let Some(pos) = rest.find("\"name\"") {
         rest = &rest[pos + "\"name\"".len()..];
         let colon = rest
@@ -186,6 +193,46 @@ mod tests {
         for (p, e) in parsed.iter().zip(&report.entries) {
             assert!((p.median_ns - e.median_ns).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn round_trips_reports_with_host_metadata() {
+        use crate::harness::HostMeta;
+        let mut b = Bench::new("g").quiet();
+        b.sample_count = 2;
+        b.sample_time = Duration::from_micros(100);
+        b.warm_up = Duration::from_micros(100);
+        b.bench("case", || std::hint::black_box(1));
+        let mut report = b.finish();
+        report.set_meta(HostMeta {
+            cpus: 4,
+            timestamp: "2026-07-31T12:00:00Z".into(),
+            env: vec![
+                // Adversarial values: a "name"-bearing key/value must not
+                // be misread as a benchmark case.
+                ("RBD_SCALING_STRICT".into(), "1".into()),
+                ("RBD_WEIRD".into(), "\"name\": \"fake\"".into()),
+            ],
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"meta\""));
+        assert!(json.contains("\"cpus\": 4"));
+        assert!(json.contains("2026-07-31T12:00:00Z"));
+        // The parser ignores the whole meta block.
+        let parsed = parse_report(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "g/case");
+        assert!((parsed[0].median_ns - report.entries[0].median_ns).abs() < 1e-3);
+        // Meta-free reports keep parsing identically.
+        let bare = {
+            let mut b = Bench::new("g").quiet();
+            b.sample_count = 2;
+            b.sample_time = Duration::from_micros(100);
+            b.warm_up = Duration::from_micros(100);
+            b.bench("case", || std::hint::black_box(1));
+            b.finish().to_json()
+        };
+        assert_eq!(parse_report(&bare).unwrap().len(), 1);
     }
 
     #[test]

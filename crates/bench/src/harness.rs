@@ -18,6 +18,67 @@
 
 use std::time::{Duration, Instant};
 
+/// Host metadata embedded in the emitted JSON so committed rows (which
+/// travel across machines — dev containers, CI runners) are
+/// self-describing: CPU count, the `RBD_*` environment knobs in effect,
+/// and an ISO-8601 timestamp supplied by the emitting binary.
+/// `rbd_bench::compare` parses-and-ignores this block.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostMeta {
+    /// `std::thread::available_parallelism()` at emission time (0 when
+    /// unavailable).
+    pub cpus: usize,
+    /// ISO-8601 UTC timestamp, passed in by the binary (see
+    /// [`iso8601_utc`]).
+    pub timestamp: String,
+    /// Every `RBD_*` environment variable in effect, sorted by name.
+    pub env: Vec<(String, String)>,
+}
+
+impl HostMeta {
+    /// Collects CPU count and `RBD_*` knobs from the running host;
+    /// `timestamp` comes from the caller (the harness itself stays
+    /// clock-free so library tests are deterministic).
+    pub fn collect(timestamp: impl Into<String>) -> Self {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0);
+        // `vars_os` + lossy filtering: `std::env::vars()` panics on any
+        // non-Unicode variable in the environment, even an unrelated one.
+        let mut env: Vec<(String, String)> = std::env::vars_os()
+            .filter_map(|(k, v)| Some((k.into_string().ok()?, v.into_string().ok()?)))
+            .filter(|(k, _)| k.starts_with("RBD_"))
+            .collect();
+        env.sort();
+        Self {
+            cpus,
+            timestamp: timestamp.into(),
+            env,
+        }
+    }
+}
+
+/// Formats seconds since the Unix epoch as an ISO-8601 UTC timestamp
+/// (`YYYY-MM-DDThh:mm:ssZ`) — no external date dependency; uses the
+/// days-from-civil inverse (Howard Hinnant's algorithm).
+pub fn iso8601_utc(secs_since_epoch: u64) -> String {
+    let days = (secs_since_epoch / 86_400) as i64;
+    let rem = secs_since_epoch % 86_400;
+    let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    // civil_from_days, epoch 1970-01-01.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mo = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mo <= 2 { y + 1 } else { y };
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
 /// One measured benchmark case.
 #[derive(Debug, Clone)]
 pub struct BenchEntry {
@@ -123,6 +184,7 @@ impl Bench {
     pub fn finish(self) -> BenchReport {
         BenchReport {
             entries: self.entries,
+            meta: None,
         }
     }
 }
@@ -132,12 +194,23 @@ impl Bench {
 pub struct BenchReport {
     /// All measured cases.
     pub entries: Vec<BenchEntry>,
+    /// Optional host metadata, emitted ahead of the benchmark rows.
+    pub meta: Option<HostMeta>,
 }
 
 impl BenchReport {
-    /// Merges another report's entries into this one.
+    /// Merges another report's entries into this one (an incoming meta
+    /// block wins over an absent one).
     pub fn merge(&mut self, other: BenchReport) {
         self.entries.extend(other.entries);
+        if self.meta.is_none() {
+            self.meta = other.meta;
+        }
+    }
+
+    /// Installs the host-metadata block emitted by [`BenchReport::to_json`].
+    pub fn set_meta(&mut self, meta: HostMeta) {
+        self.meta = Some(meta);
     }
 
     /// Looks a case up by its full `group/name`.
@@ -148,7 +221,24 @@ impl BenchReport {
     /// Serializes the report as a JSON document (no external deps; the
     /// emitted schema is `{"benchmarks": [{"name", "median_ns", ...}]}`).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        let mut out = String::from("{\n");
+        if let Some(meta) = &self.meta {
+            out.push_str(&format!(
+                "  \"meta\": {{\"cpus\": {}, \"timestamp\": {}, \"env\": {{",
+                meta.cpus,
+                json_string(&meta.timestamp)
+            ));
+            for (i, (k, v)) in meta.env.iter().enumerate() {
+                out.push_str(&format!(
+                    "{}{}: {}",
+                    if i == 0 { "" } else { ", " },
+                    json_string(k),
+                    json_string(v)
+                ));
+            }
+            out.push_str("}},\n");
+        }
+        out.push_str("  \"benchmarks\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": {}, \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \
@@ -240,6 +330,36 @@ mod tests {
         assert!(json.contains("\"g/a\""));
         assert!(json.contains("\\\"q"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn iso8601_known_instants() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(951_782_400), "2000-02-29T00:00:00Z"); // leap day
+        assert_eq!(iso8601_utc(1_753_999_999), "2025-07-31T22:13:19Z");
+        assert_eq!(iso8601_utc(4_102_444_799), "2099-12-31T23:59:59Z");
+    }
+
+    #[test]
+    fn host_meta_collects_rbd_knobs_sorted() {
+        std::env::set_var("RBD_ZZ_TEST_KNOB", "on");
+        std::env::set_var("RBD_AA_TEST_KNOB", "off");
+        let meta = HostMeta::collect("2026-07-31T00:00:00Z");
+        std::env::remove_var("RBD_ZZ_TEST_KNOB");
+        std::env::remove_var("RBD_AA_TEST_KNOB");
+        assert_eq!(meta.timestamp, "2026-07-31T00:00:00Z");
+        let pos_a = meta
+            .env
+            .iter()
+            .position(|(k, _)| k == "RBD_AA_TEST_KNOB")
+            .expect("knob collected");
+        let pos_z = meta
+            .env
+            .iter()
+            .position(|(k, _)| k == "RBD_ZZ_TEST_KNOB")
+            .expect("knob collected");
+        assert!(pos_a < pos_z, "env knobs sorted by name");
+        assert!(meta.env.iter().all(|(k, _)| k.starts_with("RBD_")));
     }
 
     #[test]

@@ -20,6 +20,43 @@ use crate::workspace::DynamicsWorkspace;
 use rbd_model::RobotModel;
 use rbd_spatial::{ForceVec, MatN, MotionVec, SpatialInertia};
 
+/// Selects the analytical ΔID backend used by [`rnea_derivatives_into`]
+/// and everything downstream of it (`fd_derivatives*`, `BatchEval`, the
+/// RK4 sensitivity chain and the iLQR LQ phase).
+///
+/// Both backends compute the same `∂τ/∂q`, `∂τ/∂q̇` up to f64 rounding
+/// (cross-checked to ≤1e-9 in
+/// `crates/dynamics/tests/backend_equivalence.rs`); they differ only in
+/// operation count and memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DerivAlgo {
+    /// Carpentier–Mansard chain-table expansion (RSS 2018) — the
+    /// reference implementation ([`rnea_derivatives_expansion_into`]).
+    Expansion,
+    /// IDSVA composite-quantity formulation (Singh/Russell/Wensing,
+    /// RA-L 2022) — ~30% fewer operations on the single-thread hot
+    /// path; the default
+    /// ([`crate::rnea_derivatives_idsva_into`]).
+    #[default]
+    Idsva,
+}
+
+impl DerivAlgo {
+    /// Stable lowercase name (used by profiles and bench row labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Expansion => "expansion",
+            Self::Idsva => "idsva",
+        }
+    }
+}
+
+impl std::fmt::Display for DerivAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Result of [`rnea_derivatives`].
 #[derive(Debug, Clone, Default)]
 pub struct RneaDerivatives {
@@ -135,11 +172,57 @@ pub fn rnea_derivatives(
 
 /// [`rnea_derivatives`] into caller-reused output storage: performs zero
 /// heap allocation in steady state (all scratch lives in `ws`, `out` is
-/// resized only on the first call).
+/// resized only on the first call). Dispatches to the default
+/// [`DerivAlgo`] backend; use [`rnea_derivatives_with_algo_into`] to
+/// select one explicitly.
 ///
 /// # Panics
 /// Panics on input dimension mismatches.
 pub fn rnea_derivatives_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    fext: Option<&[ForceVec]>,
+    out: &mut RneaDerivatives,
+) {
+    rnea_derivatives_with_algo_into(model, ws, q, qd, qdd, fext, DerivAlgo::default(), out);
+}
+
+/// [`rnea_derivatives_into`] with an explicit [`DerivAlgo`] backend.
+///
+/// # Panics
+/// Panics on input dimension mismatches.
+#[allow(clippy::too_many_arguments)] // the ΔID signature + selector + output
+pub fn rnea_derivatives_with_algo_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    fext: Option<&[ForceVec]>,
+    algo: DerivAlgo,
+    out: &mut RneaDerivatives,
+) {
+    match algo {
+        DerivAlgo::Expansion => {
+            rnea_derivatives_expansion_into(model, ws, q, qd, qdd, fext, out);
+        }
+        DerivAlgo::Idsva => {
+            crate::idsva::rnea_derivatives_idsva_into(model, ws, q, qd, qdd, fext, out);
+        }
+    }
+}
+
+/// The Carpentier–Mansard expansion backend ([`DerivAlgo::Expansion`]):
+/// chain-compacted `∂v`/`∂a` tables, per-pair force differentiation.
+/// Kept as the reference implementation the IDSVA backend is
+/// cross-validated against.
+///
+/// # Panics
+/// Panics on input dimension mismatches.
+pub fn rnea_derivatives_expansion_into(
     model: &RobotModel,
     ws: &mut DynamicsWorkspace,
     q: &[f64],

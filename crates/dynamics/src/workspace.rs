@@ -2,7 +2,7 @@
 
 use crate::derivatives::RneaDerivatives;
 use rbd_model::RobotModel;
-use rbd_spatial::{ForceVec, Mat6, MatN, MotionVec, SpatialInertia, Xform};
+use rbd_spatial::{ForceVec, InertiaRate, Mat6, MatN, MotionVec, SpatialInertia, Xform};
 
 /// Pre-allocated buffers for the dynamics algorithms.
 ///
@@ -103,6 +103,29 @@ pub struct DynamicsWorkspace {
     pub df_dq: Vec<ForceVec>,
     /// Aggregated subtree force `∂q̇` derivatives, `nb × nv` flat.
     pub df_dqd: Vec<ForceVec>,
+
+    // ------------------------------------------------------------------
+    // IDSVA ΔRNEA scratch (flat, one slot per body / per DOF). The
+    // `*_c` buffers are initialised per body in the forward pass and
+    // turn into subtree composites during the leaves→root sweep.
+    // ------------------------------------------------------------------
+    /// Momentum `h_i = I_i v_i` per body (world frame).
+    pub idsva_h: Vec<ForceVec>,
+    /// Composite spatial inertia `I^C_i = Σ_{l ⪰ i} I_l`.
+    pub idsva_inertia_c: Vec<SpatialInertia>,
+    /// Composite momentum `H^C_i = Σ_{l ⪰ i} I_l v_l`.
+    pub idsva_h_c: Vec<ForceVec>,
+    /// Composite inertia rate `J^C_i = Σ_{l ⪰ i} İ_l` (compact form).
+    pub idsva_rate_c: Vec<InertiaRate>,
+    /// Composite external force `Σ_{l ⪰ i} f_ext,l`; only written when
+    /// external forces are supplied.
+    pub idsva_fext_c: Vec<ForceVec>,
+    /// Per-DOF `w_j = S_j × v_λ(j)` (the negated world rate `−S̊_j`).
+    pub idsva_w: Vec<MotionVec>,
+    /// Per-DOF `γ_j = S_j × (v_λ(j) + v_b(j))` (∂a/∂q̇ offset).
+    pub idsva_gamma: Vec<MotionVec>,
+    /// Per-DOF `ζ_j = S_j × a_λ(j) − w_j × v_λ(j)` (∂a/∂q offset).
+    pub idsva_zeta: Vec<MotionVec>,
 
     // ------------------------------------------------------------------
     // MMinvGen scratch.
@@ -264,6 +287,14 @@ impl DynamicsWorkspace {
             da_dqd: vec![MotionVec::zero(); n_chain],
             df_dq: vec![ForceVec::zero(); nb * nv],
             df_dqd: vec![ForceVec::zero(); nb * nv],
+            idsva_h: vec![ForceVec::zero(); nb],
+            idsva_inertia_c: vec![SpatialInertia::zero(); nb],
+            idsva_h_c: vec![ForceVec::zero(); nb],
+            idsva_rate_c: vec![InertiaRate::zero(); nb],
+            idsva_fext_c: vec![ForceVec::zero(); nb],
+            idsva_w: vec![MotionVec::zero(); nv],
+            idsva_gamma: vec![MotionVec::zero(); nv],
+            idsva_zeta: vec![MotionVec::zero(); nv],
             ia_m: vec![Mat6::zero(); nb],
             f_minv: vec![ForceVec::zero(); nb * nv],
             f_m: vec![ForceVec::zero(); nb * nv],

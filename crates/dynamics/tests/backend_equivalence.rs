@@ -1,0 +1,176 @@
+//! ΔID backend equivalence and floating-base oracle coverage, run in
+//! the default (non-proptest) CI job.
+//!
+//! * The IDSVA and expansion backends must agree to ≤1e-9 (relative) on
+//!   every test model at randomized states — the acceptance tolerance
+//!   for treating them as interchangeable behind [`DerivAlgo`].
+//! * The floating-base Atlas gets a dedicated central-finite-difference
+//!   cross-check at randomized states *and randomized `q̈`* (the
+//!   in-module property suites lean on fixed-base arms and
+//!   deterministic `q̈` ramps).
+
+use rbd_dynamics::{
+    fd_derivatives_with_algo_into, rnea_derivatives_numeric, rnea_derivatives_with_algo_into,
+    DerivAlgo, DynamicsWorkspace, FdDerivatives, RneaDerivatives,
+};
+use rbd_model::{random_state, robots, RobotModel};
+
+/// Deterministic xorshift64* — keeps the randomized states reproducible
+/// without external dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    /// Uniform in (-1, 1).
+    fn f(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+}
+
+fn random_qdd(rng: &mut Rng, nv: usize, scale: f64) -> Vec<f64> {
+    (0..nv).map(|_| scale * rng.f()).collect()
+}
+
+/// Relative max-abs disagreement of the two backends at one state.
+fn backend_disagreement(model: &RobotModel, seed: u64, qdd: &[f64]) -> f64 {
+    let mut ws = DynamicsWorkspace::new(model);
+    let s = random_state(model, seed);
+    let mut idsva = RneaDerivatives::zeros(model.nv());
+    let mut exp = RneaDerivatives::zeros(model.nv());
+    rnea_derivatives_with_algo_into(
+        model,
+        &mut ws,
+        &s.q,
+        &s.qd,
+        qdd,
+        None,
+        DerivAlgo::Idsva,
+        &mut idsva,
+    );
+    rnea_derivatives_with_algo_into(
+        model,
+        &mut ws,
+        &s.q,
+        &s.qd,
+        qdd,
+        None,
+        DerivAlgo::Expansion,
+        &mut exp,
+    );
+    let scale = 1.0 + exp.dtau_dq.max_abs().max(exp.dtau_dqd.max_abs());
+    let dq = (&idsva.dtau_dq - &exp.dtau_dq).max_abs();
+    let dqd = (&idsva.dtau_dqd - &exp.dtau_dqd).max_abs();
+    dq.max(dqd) / scale
+}
+
+/// Acceptance criterion: backends agree to ≤1e-9 on all test models
+/// (fixed and floating base) at randomized states.
+#[test]
+fn backends_agree_to_1e9_on_all_test_models() {
+    let mut rng = Rng::new(0xD1D);
+    let models = [
+        robots::iiwa(),
+        robots::hyq(),
+        robots::atlas(),
+        robots::tiago(),
+        robots::quadruped_arm(),
+        robots::random_tree(10, 4),
+    ];
+    for model in &models {
+        for round in 0..5 {
+            let qdd = random_qdd(&mut rng, model.nv(), 3.0);
+            let err = backend_disagreement(model, 100 + round, &qdd);
+            assert!(
+                err <= 1e-9,
+                "{} round {round}: backends disagree by {err:e} (> 1e-9)",
+                model.name()
+            );
+        }
+    }
+}
+
+/// The ΔFD chain must agree across backends too (the `M⁻¹` gather and
+/// the sparse tail are backend-independent, so any disagreement comes
+/// from ΔID alone).
+#[test]
+fn dfd_backends_agree_to_1e9() {
+    let mut rng = Rng::new(0xFD);
+    for model in [robots::hyq(), robots::atlas()] {
+        let mut ws = DynamicsWorkspace::new(&model);
+        let s = random_state(&model, 77);
+        let tau = random_qdd(&mut rng, model.nv(), 2.0);
+        let mut a = FdDerivatives::zeros(model.nv());
+        let mut b = FdDerivatives::zeros(model.nv());
+        fd_derivatives_with_algo_into(
+            &model,
+            &mut ws,
+            &s.q,
+            &s.qd,
+            &tau,
+            None,
+            DerivAlgo::Idsva,
+            &mut a,
+        )
+        .unwrap();
+        fd_derivatives_with_algo_into(
+            &model,
+            &mut ws,
+            &s.q,
+            &s.qd,
+            &tau,
+            None,
+            DerivAlgo::Expansion,
+            &mut b,
+        )
+        .unwrap();
+        let scale = 1.0 + b.dqdd_dq.max_abs().max(b.dqdd_dqd.max_abs());
+        assert!(
+            (&a.dqdd_dq - &b.dqdd_dq).max_abs() / scale <= 1e-9,
+            "{}",
+            model.name()
+        );
+        assert!((&a.dqdd_dqd - &b.dqdd_dqd).max_abs() / scale <= 1e-9);
+        // qdd and M⁻¹ are computed identically — bit-equal.
+        assert_eq!(a.qdd, b.qdd);
+        assert_eq!((&a.dqdd_dtau - &b.dqdd_dtau).max_abs(), 0.0);
+    }
+}
+
+/// Floating-base Atlas against the central-difference oracle at
+/// randomized states and randomized `q̈`, for both backends.
+#[test]
+fn atlas_floating_base_matches_finite_differences_at_random_states() {
+    let model = robots::atlas();
+    assert!(
+        model.nq() > model.nv(),
+        "Atlas must be floating base for this test to cover quaternions"
+    );
+    let mut rng = Rng::new(0xA71A5);
+    let mut ws = DynamicsWorkspace::new(&model);
+    for round in 0..3 {
+        let s = random_state(&model, 500 + round);
+        let qdd = random_qdd(&mut rng, model.nv(), 4.0);
+        let (ndq, ndqd) = rnea_derivatives_numeric(&model, &s.q, &s.qd, &qdd, None, 1e-6);
+        let scale = 1.0 + ndq.max_abs().max(ndqd.max_abs());
+        for algo in [DerivAlgo::Idsva, DerivAlgo::Expansion] {
+            let mut out = RneaDerivatives::zeros(model.nv());
+            rnea_derivatives_with_algo_into(
+                &model, &mut ws, &s.q, &s.qd, &qdd, None, algo, &mut out,
+            );
+            let eq = (&out.dtau_dq - &ndq).max_abs() / scale;
+            let eqd = (&out.dtau_dqd - &ndqd).max_abs() / scale;
+            assert!(eq < 1e-5, "round {round} {algo}: ∂τ/∂q error {eq}");
+            assert!(eqd < 1e-5, "round {round} {algo}: ∂τ/∂q̇ error {eqd}");
+        }
+    }
+}

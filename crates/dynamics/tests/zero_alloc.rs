@@ -6,9 +6,11 @@
 //! pollute the process-global counter.
 
 use rbd_dynamics::{
-    bias_force_in_ws, crba_into, fd_derivatives_into, fd_derivatives_with_minv_into,
-    forward_dynamics_into, mminv_gen_into, rnea_derivatives_into, rnea_in_ws, BatchEval,
-    DynamicsWorkspace, FdDerivatives, RneaDerivatives, SamplePoint,
+    bias_force_in_ws, crba_into, fd_derivatives_into, fd_derivatives_with_algo_into,
+    fd_derivatives_with_minv_into, forward_dynamics_into, mminv_gen_into,
+    rnea_derivatives_expansion_into, rnea_derivatives_idsva_into, rnea_derivatives_into,
+    rnea_in_ws, BatchEval, DerivAlgo, DynamicsWorkspace, FdDerivatives, RneaDerivatives,
+    SamplePoint,
 };
 use rbd_model::{random_state, robots};
 use rbd_spatial::MatN;
@@ -75,8 +77,40 @@ fn steady_state_kernels_do_not_allocate() {
         fd_derivatives_into(&model, &mut ws, &s.q, &s.qd, &tau, None, &mut dfd).unwrap();
         fd_derivatives_with_minv_into(&model, &mut ws, &s.q, &s.qd, &qdd, &minv, None, &mut dfd2);
 
-        // Steady state: every hot-path kernel must be allocation-free.
-        let checks: [(&str, u64); 8] = [
+        // Steady state: every hot-path kernel must be allocation-free —
+        // including BOTH ΔID backends (the selector dispatch itself must
+        // not box or clone anything either).
+        let checks: [(&str, u64); 11] = [
+            (
+                "rnea_derivatives_idsva_into",
+                alloc_count(|| {
+                    rnea_derivatives_idsva_into(&model, &mut ws, &s.q, &s.qd, &qdd, None, &mut did)
+                }),
+            ),
+            (
+                "rnea_derivatives_expansion_into",
+                alloc_count(|| {
+                    rnea_derivatives_expansion_into(
+                        &model, &mut ws, &s.q, &s.qd, &qdd, None, &mut did,
+                    )
+                }),
+            ),
+            (
+                "fd_derivatives_with_algo_into(expansion)",
+                alloc_count(|| {
+                    fd_derivatives_with_algo_into(
+                        &model,
+                        &mut ws,
+                        &s.q,
+                        &s.qd,
+                        &tau,
+                        None,
+                        DerivAlgo::Expansion,
+                        &mut dfd,
+                    )
+                    .unwrap()
+                }),
+            ),
             (
                 "rnea_in_ws",
                 alloc_count(|| rnea_in_ws(&model, &mut ws, &s.q, &s.qd, &qdd, None, 1.0)),

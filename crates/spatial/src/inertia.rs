@@ -159,6 +159,49 @@ impl SpatialInertia {
         }
     }
 
+    /// World-frame inertia rate `İ = v ×* I − I v×` in the compact
+    /// [`InertiaRate`] form, given the (precomputed) momentum `h = I·v`.
+    ///
+    /// The dense rate matrix has the structure `[[K, ĝ], [−ĝ, 0]]` with
+    /// `g = lin(I·v)` and symmetric `K = ŵ Ī − Ī ŵ − (v̂ ĥₘ + ĥₘ v̂)`
+    /// (`w`/`v` the angular/linear velocity parts, `hₘ` the first mass
+    /// moment, `x̂` the 3×3 skew of `x`) — so it is fully determined by
+    /// nine scalars and accumulates over subtrees componentwise. This is
+    /// the per-body build of the IDSVA composite velocity-coupling
+    /// operator (`B_i` up to the `(I v) ×̄` term, Singh/Russell/Wensing
+    /// 2022); it is pinned against the dense
+    /// `crf(v)·I − I·crm(v)` product in
+    /// `crates/spatial/tests/vectorized_kernels.rs`.
+    #[inline]
+    pub fn rate(&self, v: &MotionVec, h: &ForceVec) -> InertiaRate {
+        let [w1, w2, w3, vl1, vl2, vl3] = v.to_array();
+        let m = self.i_bar.as_array();
+        // Symmetric commutator ŵ Ī − Ī ŵ (Ī symmetric), unique entries.
+        let (m11, m12, m13) = (m[0], m[1], m[2]);
+        let (m22, m23, m33) = (m[4], m[5], m[8]);
+        let c11 = 2.0 * (w2 * m13 - w3 * m12);
+        let c22 = 2.0 * (w3 * m12 - w1 * m23);
+        let c33 = 2.0 * (w1 * m23 - w2 * m13);
+        let c12 = w3 * (m11 - m22) + w2 * m23 - w1 * m13;
+        let c13 = w2 * (m33 - m11) - w3 * m23 + w1 * m12;
+        let c23 = w1 * (m22 - m33) + w3 * m13 - w2 * m12;
+        // v̂ ĥₘ + ĥₘ v̂ = hₘ vᵀ + v hₘᵀ − 2 (v·hₘ) 1  (skew-product identity).
+        let hm = self.h.to_array();
+        let vh = vl1 * hm[0] + vl2 * hm[1] + vl3 * hm[2];
+        let k = Mat3::from_flat([
+            c11 - (2.0 * hm[0] * vl1 - 2.0 * vh),
+            c12 - (hm[0] * vl2 + vl1 * hm[1]),
+            c13 - (hm[0] * vl3 + vl1 * hm[2]),
+            c12 - (hm[0] * vl2 + vl1 * hm[1]),
+            c22 - (2.0 * hm[1] * vl2 - 2.0 * vh),
+            c23 - (hm[1] * vl3 + vl2 * hm[2]),
+            c13 - (hm[0] * vl3 + vl1 * hm[2]),
+            c23 - (hm[1] * vl3 + vl2 * hm[2]),
+            c33 - (2.0 * hm[2] * vl3 - 2.0 * vh),
+        ]);
+        InertiaRate { k, g: h.lin() }
+    }
+
     /// Dense 6×6 form `[Ī h×; h×ᵀ m·1]`.
     pub fn to_mat6(&self) -> Mat6 {
         let hx = Mat3::skew(self.h);
@@ -173,6 +216,75 @@ impl SpatialInertia {
             out[(i + 3, i + 3)] = self.mass;
         }
         out
+    }
+}
+
+/// Compact form of a world-frame spatial-inertia rate
+/// `İ = v ×* I − I v×` (and of sums of such rates over a subtree): the
+/// dense matrix is `[[k, ĝ], [−ĝ, 0]]`, so only the symmetric angular
+/// block `k` and the vector `g = lin(I·v)` are stored. Built per body by
+/// [`SpatialInertia::rate`] and accumulated componentwise up the tree by
+/// the IDSVA ΔID backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InertiaRate {
+    /// Symmetric angular (top-left) 3×3 block.
+    pub k: Mat3,
+    /// Generator of the off-diagonal skew blocks, `g = lin(I·v)`.
+    pub g: Vec3,
+}
+
+impl Default for InertiaRate {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl InertiaRate {
+    /// The zero rate (e.g. an empty composite).
+    pub const fn zero() -> Self {
+        Self {
+            k: Mat3::zero(),
+            g: Vec3::zero(),
+        }
+    }
+
+    /// Applies the rate to a motion vector:
+    /// `İ m = [k·ω + g×v ; −g×ω]` for `m = [ω; v]`.
+    #[inline(always)]
+    pub fn mul_motion(&self, m: &MotionVec) -> ForceVec {
+        let w = m.ang();
+        let l = m.lin();
+        ForceVec::new(self.k * w + self.g.cross(&l), -self.g.cross(&w))
+    }
+
+    /// Dense 6×6 form `[[k, ĝ], [−ĝ, 0]]`.
+    pub fn to_mat6(&self) -> Mat6 {
+        let gx = Mat3::skew(self.g);
+        let mut out = Mat6::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out[(i, j)] = self.k[(i, j)];
+                out[(i, j + 3)] = gx[(i, j)];
+                out[(i + 3, j)] = -gx[(i, j)];
+            }
+        }
+        out
+    }
+}
+
+impl Add for InertiaRate {
+    type Output = InertiaRate;
+    fn add(self, r: InertiaRate) -> InertiaRate {
+        InertiaRate {
+            k: self.k + r.k,
+            g: self.g + r.g,
+        }
+    }
+}
+
+impl AddAssign for InertiaRate {
+    fn add_assign(&mut self, r: InertiaRate) {
+        *self = *self + r;
     }
 }
 

@@ -40,7 +40,7 @@ pub mod spatial_vec;
 pub mod vec3;
 pub mod xform;
 
-pub use inertia::SpatialInertia;
+pub use inertia::{InertiaRate, SpatialInertia};
 pub use mat3::Mat3;
 pub use mat6::Mat6;
 pub use matn::{MatN, VecN};

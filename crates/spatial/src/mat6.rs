@@ -89,6 +89,40 @@ impl Mat6 {
         out
     }
 
+    /// The dense motion cross operator `crm(v) = [ŵ 0; v̂ ŵ]` of a
+    /// motion vector `v = [ω; v]` (`x̂` = 3×3 skew): `crm(v)·m = v × m`.
+    /// Reference/validation form of [`MotionVec::cross_motion`].
+    pub fn cross_motion(v: &MotionVec) -> Self {
+        let wx = crate::Mat3::skew(v.ang());
+        let vx = crate::Mat3::skew(v.lin());
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[6 * i + j] = wx[(i, j)];
+                out.m[6 * (i + 3) + j] = vx[(i, j)];
+                out.m[6 * (i + 3) + j + 3] = wx[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// The dense force cross operator `crf(v) = [ŵ v̂; 0 ŵ]` of a motion
+    /// vector (`crf(v) = −crm(v)ᵀ`): `crf(v)·f = v ×* f`.
+    /// Reference/validation form of [`MotionVec::cross_force`].
+    pub fn cross_force(v: &MotionVec) -> Self {
+        let wx = crate::Mat3::skew(v.ang());
+        let vx = crate::Mat3::skew(v.lin());
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[6 * i + j] = wx[(i, j)];
+                out.m[6 * i + j + 3] = vx[(i, j)];
+                out.m[6 * (i + 3) + j + 3] = wx[(i, j)];
+            }
+        }
+        out
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Self {
         let mut out = Self::zero();

@@ -265,6 +265,15 @@ impl MotionVec {
         (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) + (a[3] * b[3] + a[4] * b[4] + a[5] * b[5])
     }
 
+    /// Fused pair of duality pairings `(⟨self, f1⟩, ⟨self, f2⟩)` — one
+    /// pass over the motion coordinates for both dots (the IDSVA ∂τ
+    /// row-fill pairs each ancestor column against two accumulated force
+    /// vectors). Bit-identical to two [`MotionVec::dot_force`] calls.
+    #[inline(always)]
+    pub fn dot_force_pair(&self, f1: &ForceVec, f2: &ForceVec) -> (f64, f64) {
+        (self.dot_force(f1), self.dot_force(f2))
+    }
+
     /// Fused weighted sum `Σ_k w[k]·cols[k]` over a batch of motion
     /// columns (the `S q̇` / `S q̈` joint-space sums of the per-body
     /// sweeps), accumulated per coordinate lane — one contiguous pass.
@@ -303,6 +312,15 @@ impl ForceVec {
     #[inline(always)]
     pub fn dot_motion(&self, m: &MotionVec) -> f64 {
         m.dot_force(self)
+    }
+
+    /// Fused pair of duality pairings `(⟨m1, self⟩, ⟨m2, self⟩)` — keeps
+    /// this force vector's coordinates hot across both dots (the IDSVA
+    /// ∂τ row fill dots each per-DOF force against two per-column motion
+    /// vectors). Bit-identical to two [`ForceVec::dot_motion`] calls.
+    #[inline(always)]
+    pub fn dot_motion_pair(&self, m1: &MotionVec, m2: &MotionVec) -> (f64, f64) {
+        (m1.dot_force(self), m2.dot_force(self))
     }
 }
 
