@@ -386,6 +386,58 @@ pub fn rk4_sens_point_flops_with(model: &RobotModel, backend: DerivBackend) -> f
     4.0 * delta_fd_flops_with(model, backend) + 48.0 * nv * nv * nv
 }
 
+/// `Af_i`/`Ab_i` — articulated-body (ABA) per-body cost: pass 1
+/// (velocities, bias accelerations, articulated init ≈ one `Rf`-class
+/// step), pass 2 (U = I^A S, the joint-space D and its LDLᵀ inverse,
+/// the rank-`ni` `I^A − U D⁻¹ Uᵀ` update, the symmetric congruence
+/// shift — ≈ the MMinvGen congruence — and the bias propagation) and
+/// pass 3 (acceleration transform + joint-space solve).
+fn aba_body_cost(jt: &JointType) -> OpCount {
+    let ni = jt.nv();
+    let congruence = OpCount {
+        mul: 216, // symmetric 6×6 congruence, upper triangle only
+        add: 180,
+        ..Default::default()
+    };
+    rf_cost(jt)
+        .plus(congruence)
+        .plus(XFORM_APPLY.times(2)) // pa' to parent, a' from parent
+        .plus(INERTIA_APPLY.times(ni + 1)) // U columns + Ia·c
+        .plus(OpCount {
+            mul: 36 * ni * ni + 7 * ni + ni * ni * ni / 3 + 36, // U DU rank update, D, LDLᵀ, solves
+            add: 36 * ni * ni + 7 * ni + ni * ni * ni / 3 + 30,
+            recip: ni,
+            ..Default::default()
+        })
+}
+
+/// Estimated total flop count (muls + adds) of one O(n) ABA forward
+/// dynamics evaluation on `model` — the per-stage unit of the rollout
+/// workloads (`rbd_dynamics::aba_in_ws` and its K-lane lockstep
+/// mirror evaluate exactly this sweep).
+pub fn aba_flops(model: &RobotModel) -> f64 {
+    let mut total = OpCount::default();
+    for i in 0..model.num_bodies() {
+        let jt = &model.joint(i).jtype;
+        total = total.plus(aba_body_cost(jt)).plus(trig_cost(jt));
+    }
+    (total.mul + total.add) as f64
+}
+
+/// Estimated flop count of one RK4/ABA rollout sampling point over
+/// `horizon` steps (the sampling-MPC / MPPI per-sample unit): four ABA
+/// stage evaluations plus the stage-combination and manifold-integration
+/// arithmetic per step. This is the **work-gating hook** for
+/// `rbd_dynamics::BatchEval` lane-group dispatch — install via
+/// `set_point_flops` before batching rollout samples so tiny sample
+/// counts stay inline on the caller. The estimate is per *sample*
+/// (lane), independent of the lane width the kernels batch at.
+pub fn rk4_rollout_point_flops(model: &RobotModel, horizon: usize) -> f64 {
+    let nv = model.nv() as f64;
+    let nq = model.nq() as f64;
+    horizon.max(1) as f64 * (4.0 * aba_flops(model) + 14.0 * nv + 8.0 * nq)
+}
+
 /// Schedule-module matrix-vector product `A(x - y)` with symmetric `A`
 /// (Fig 9c): `n(n+1)/2` distinct products per column.
 pub fn sym_matvec_cost(n: usize) -> OpCount {
@@ -507,6 +559,33 @@ mod tests {
         let small = delta_id_flops(&robots::iiwa(), DerivBackend::Idsva);
         let large = delta_id_flops(&robots::atlas(), DerivBackend::Idsva);
         assert!(large > small);
+    }
+
+    #[test]
+    fn aba_flops_cheaper_than_delta_fd_and_scales() {
+        use rbd_model::robots;
+        let iiwa = aba_flops(&robots::iiwa());
+        let hyq = aba_flops(&robots::hyq());
+        let atlas = aba_flops(&robots::atlas());
+        // Plain O(n) FD is far cheaper than the full ΔFD pipeline and
+        // grows with model size.
+        assert!(iiwa < hyq && hyq < atlas);
+        for m in [robots::iiwa(), robots::hyq(), robots::atlas()] {
+            assert!(aba_flops(&m) < delta_fd_flops(&m), "{}", m.name());
+            assert!(aba_flops(&m) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rollout_point_flops_scale_with_horizon() {
+        use rbd_model::robots;
+        let m = robots::hyq();
+        let h1 = rk4_rollout_point_flops(&m, 1);
+        let h8 = rk4_rollout_point_flops(&m, 8);
+        assert!(h1 > 4.0 * aba_flops(&m));
+        assert!((h8 / h1 - 8.0).abs() < 1e-9, "linear in horizon");
+        // Zero horizon clamps to one step rather than gating to zero.
+        assert_eq!(rk4_rollout_point_flops(&m, 0), h1);
     }
 
     #[test]

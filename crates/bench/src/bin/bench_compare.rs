@@ -8,13 +8,23 @@
 //!
 //! ```text
 //! bench_compare <current.json> <baseline.json> [--threshold 0.15]
+//!               [--row-threshold <pattern>=<value|advisory>]...
 //! ```
+//!
+//! `--row-threshold` installs per-row gating overrides: rows whose
+//! name contains `<pattern>` are gated at `<value>` instead of the
+//! global threshold, or merely *reported* when the value is the
+//! literal `advisory` (used for the `rollout_lane*`/`mppi_*` rows
+//! until a multi-core baseline is frozen — their absolute medians are
+//! machine-class-bound). The first matching override wins.
 //!
 //! New cases with no baseline counterpart are reported and allowed;
 //! baseline cases that *vanished* from the current report fail the gate
-//! too (a silently dropped benchmark can hide a regression).
+//! too (a silently dropped benchmark can hide a regression), **as does
+//! a baseline case whose current median parses as `NaN`/`inf`** — a
+//! non-finite median hides a regression just as effectively.
 
-use rbd_bench::compare::{compare, parse_report};
+use rbd_bench::compare::{compare_with_overrides, parse_report, RowGate};
 use rbd_bench::harness::fmt_ns;
 use rbd_bench::print_table;
 use std::process::ExitCode;
@@ -23,6 +33,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 0.15_f64;
+    let mut overrides: Vec<(String, RowGate)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -33,11 +44,38 @@ fn main() -> ExitCode {
                 };
                 threshold = v;
             }
+            "--row-threshold" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--row-threshold needs <pattern>=<value|advisory>");
+                    return ExitCode::from(2);
+                };
+                let Some((pat, val)) = spec.split_once('=') else {
+                    eprintln!("--row-threshold spec {spec:?} is missing '='");
+                    return ExitCode::from(2);
+                };
+                let gate = if val.eq_ignore_ascii_case("advisory") {
+                    RowGate::Advisory
+                } else {
+                    match val.parse::<f64>() {
+                        Ok(t) => RowGate::Threshold(t),
+                        Err(_) => {
+                            eprintln!(
+                                "--row-threshold value {val:?} is neither numeric nor 'advisory'"
+                            );
+                            return ExitCode::from(2);
+                        }
+                    }
+                };
+                overrides.push((pat.to_string(), gate));
+            }
             _ => paths.push(a.clone()),
         }
     }
     let [current_path, baseline_path] = paths.as_slice() else {
-        eprintln!("usage: bench_compare <current.json> <baseline.json> [--threshold 0.15]");
+        eprintln!(
+            "usage: bench_compare <current.json> <baseline.json> [--threshold 0.15] \
+             [--row-threshold <pattern>=<value|advisory>]..."
+        );
         return ExitCode::from(2);
     };
 
@@ -53,21 +91,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let out = compare(&current, &baseline, threshold);
+    let out = compare_with_overrides(&current, &baseline, threshold, &overrides);
+    let advisory_names: Vec<&str> = out.advisory.iter().map(|r| r.name.as_str()).collect();
+    let failing_names: Vec<&str> = out.regressions.iter().map(|r| r.name.as_str()).collect();
     let rows: Vec<Vec<String>> = out
         .compared
         .iter()
         .map(|r| {
+            let verdict = if failing_names.contains(&r.name.as_str()) {
+                "REGRESSED"
+            } else if advisory_names.contains(&r.name.as_str()) {
+                "advisory"
+            } else {
+                "ok"
+            };
             vec![
                 r.name.clone(),
                 fmt_ns(r.baseline_ns),
                 fmt_ns(r.current_ns),
                 format!("{:.3}x", r.ratio),
-                if r.ratio > 1.0 + threshold {
-                    "REGRESSED".into()
-                } else {
-                    "ok".into()
-                },
+                verdict.into(),
             ]
         })
         .collect();
@@ -79,6 +122,12 @@ fn main() -> ExitCode {
     );
     for name in &out.missing_in_baseline {
         println!("new case (no baseline, allowed): {name}");
+    }
+    for r in &out.advisory {
+        println!(
+            "advisory drift (never fails): {} {:.3}x past +{pct}",
+            r.name, r.ratio
+        );
     }
     for name in &out.missing_in_current {
         println!("MISSING from current report: {name}");
@@ -93,8 +142,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "bench_compare: {} case(s) within +{pct} of baseline",
-        out.compared.len()
+        "bench_compare: {} case(s) within their gates ({} advisory)",
+        out.compared.len(),
+        out.advisory.len()
     );
     ExitCode::SUCCESS
 }

@@ -11,11 +11,69 @@
 
 use rbd_bench::harness::{iso8601_utc, Bench, BenchReport, HostMeta};
 use rbd_dynamics::{
-    fd_derivatives, fd_derivatives_into, fd_derivatives_with_algo_into, rnea_derivatives,
-    rnea_derivatives_into, rnea_derivatives_with_algo_into, BatchEval, DerivAlgo,
-    DynamicsWorkspace, FdDerivatives, RneaDerivatives, SamplePoint,
+    fd_derivatives, fd_derivatives_into, fd_derivatives_with_algo_into, lanes::LaneWorkspace,
+    rk4_rollout_lanes_into, rnea_derivatives, rnea_derivatives_into,
+    rnea_derivatives_with_algo_into, BatchEval, DerivAlgo, DynamicsWorkspace, FdDerivatives,
+    LaneRolloutScratch, RneaDerivatives, SamplePoint,
 };
-use rbd_model::{random_state, robots};
+use rbd_model::{random_state, robots, RobotModel};
+use rbd_trajopt::{Mppi, MppiOptions};
+
+/// Samples per lane-rollout / MPPI row (matches the `dFD_batch64` rows).
+const ROLLOUT_SAMPLES: usize = 64;
+/// Rollout horizon of the lane/MPPI rows (steps per sample).
+const ROLLOUT_HORIZON: usize = 5;
+
+/// Benches the 64-sample RK4/ABA rollout batch through the K-lane
+/// lockstep path on a single executor, so the `rollout_lane4` /
+/// `rollout_lane1` ratio isolates the SIMD-lane win from thread
+/// scaling (`scaling_check` gates that ratio ≥ 1.8x on the CI
+/// runners).
+fn bench_rollout_lanes<const K: usize>(group: &mut Bench, model: &RobotModel, name: &str) {
+    let (nq, nv) = (model.nq(), model.nv());
+    let mut lws = LaneWorkspace::<K>::new(model);
+    let mut rs = LaneRolloutScratch::for_model(model, K);
+    let groups = ROLLOUT_SAMPLES / K;
+    // Lane-packed initial states per group, staged outside the timed
+    // closure so the rows measure the rollout sweep only.
+    let packed: Vec<(Vec<f64>, Vec<f64>)> = (0..groups)
+        .map(|g| {
+            let mut q0 = vec![0.0; K * nq];
+            let mut qd0 = vec![0.0; K * nv];
+            for l in 0..K {
+                let s = random_state(model, (g * K + l) as u64);
+                q0[l * nq..(l + 1) * nq].copy_from_slice(&s.q);
+                qd0[l * nv..(l + 1) * nv].copy_from_slice(&s.qd);
+            }
+            (q0, qd0)
+        })
+        .collect();
+    // Identical control sequence per lane (index reduced mod one
+    // sequence) so the lane1/lane4 rows evaluate the same trajectories.
+    let us: Vec<f64> = (0..K * ROLLOUT_HORIZON * nv)
+        .map(|i| 0.3 - 0.002 * (i % (ROLLOUT_HORIZON * nv)) as f64)
+        .collect();
+    let mut q_traj = vec![0.0; K * (ROLLOUT_HORIZON + 1) * nq];
+    let mut qd_traj = vec![0.0; K * (ROLLOUT_HORIZON + 1) * nv];
+    group.bench(name, || {
+        for (q0, qd0) in &packed {
+            rk4_rollout_lanes_into(
+                model,
+                &mut lws,
+                &mut rs,
+                q0,
+                qd0,
+                &us,
+                ROLLOUT_HORIZON,
+                0.01,
+                &mut q_traj,
+                &mut qd_traj,
+            )
+            .unwrap();
+        }
+        std::hint::black_box(&q_traj);
+    });
+}
 
 fn main() {
     let mut report = BenchReport::default();
@@ -92,6 +150,36 @@ fn main() {
             batch.fd_derivatives_batch(&points, &mut outs).unwrap();
             group.bench(&format!("dFD_batch64_{threads}T"), || {
                 batch.fd_derivatives_batch(&points, &mut outs).unwrap();
+            });
+        }
+
+        // Lane-major SoA rollout rows: the same 64-sample RK4/ABA
+        // rollout batch at lane widths 1 and 4 on a single executor
+        // (the ratio is the pure SIMD-lane win; scaling_check gates it
+        // ≥ 1.8x on CI). The lane kernels are bit-identical to the
+        // scalar rollout per lane, so both rows compute the same
+        // trajectories.
+        bench_rollout_lanes::<1>(&mut group, &model, "rollout_lane1");
+        bench_rollout_lanes::<4>(&mut group, &model, "rollout_lane4");
+
+        // Sampling-MPC row: one full MPPI iteration — 64 perturbed
+        // control sequences rolled out through the lane kernels over
+        // the 4-executor pool (matching the dFD_batch64_4T convention;
+        // oversubscribed on smaller hosts, which is still useful
+        // trajectory data), scored and blended. Steady state: the
+        // controller is constructed and warmed outside the timing.
+        {
+            let opts = MppiOptions {
+                samples: ROLLOUT_SAMPLES,
+                horizon: ROLLOUT_HORIZON,
+                ..Default::default()
+            };
+            let mut mppi = Mppi::with_threads(&model, opts, 4);
+            let q0 = model.neutral_config();
+            let qd0 = vec![0.0; nv];
+            mppi.iterate(&q0, &qd0);
+            group.bench("mppi_batch64", || {
+                std::hint::black_box(mppi.iterate(&q0, &qd0));
             });
         }
         report.merge(group.finish());

@@ -53,10 +53,14 @@ pub fn parse_report(json: &str) -> Result<Vec<BenchCase>, String> {
         let med_colon = med_rest
             .find(':')
             .ok_or_else(|| "missing ':' after \"median_ns\"".to_string())?;
+        // Alphanumerics are included so non-finite tokens (`NaN`,
+        // `inf`) parse into their f64 values instead of erroring —
+        // `compare` then fails such rows like vanished cases rather
+        // than silently passing them.
         let num: String = med_rest[med_colon + 1..]
             .trim_start()
             .chars()
-            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '+'))
             .collect();
         let median_ns: f64 = num
             .parse()
@@ -110,17 +114,35 @@ pub struct Regression {
     pub ratio: f64,
 }
 
+/// Per-row gating override: rows whose name contains the pattern are
+/// gated by the override instead of the global threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowGate {
+    /// Fail the row past `1 + threshold` (row-specific threshold).
+    Threshold(f64),
+    /// Report drift but never fail the row — for benches whose baseline
+    /// is not yet meaningful on the gating machine class (e.g. the
+    /// `rollout_lane*`/`mppi_*` rows until a multi-core baseline is
+    /// frozen).
+    Advisory,
+}
+
 /// Outcome of diffing a current report against a baseline.
 #[derive(Debug, Clone, Default)]
 pub struct CompareOutcome {
     /// Cases compared (present in both reports), with their ratios.
     pub compared: Vec<Regression>,
-    /// Cases whose ratio exceeded `1 + threshold`.
+    /// Cases whose ratio exceeded their gate (these fail the gate).
     pub regressions: Vec<Regression>,
+    /// Cases past their threshold but gated [`RowGate::Advisory`]:
+    /// reported, never failing.
+    pub advisory: Vec<Regression>,
     /// Current cases with no baseline counterpart (new benches: fine).
     pub missing_in_baseline: Vec<String>,
-    /// Baseline cases that vanished from the current report (suspicious:
-    /// a silently dropped benchmark can hide a regression).
+    /// Baseline cases that vanished from the current report — or whose
+    /// current median is non-finite (`NaN`/`inf`), which hides a
+    /// regression just as effectively as dropping the row (suspicious
+    /// either way: both fail the gate).
     pub missing_in_current: Vec<String>,
 }
 
@@ -129,7 +151,23 @@ pub struct CompareOutcome {
 /// = +15%, the CI default — chosen to sit above the ±10% box noise the
 /// perf logs in CHANGES.md record for these kernels, so the gate trips
 /// on real regressions, not scheduler jitter).
+///
+/// A baseline row whose current median is **non-finite** fails like a
+/// vanished case: `NaN` compares false against every threshold, so
+/// without this rule a NaN median would silently pass the gate.
 pub fn compare(current: &[BenchCase], baseline: &[BenchCase], threshold: f64) -> CompareOutcome {
+    compare_with_overrides(current, baseline, threshold, &[])
+}
+
+/// [`compare`] with per-row gating overrides: the first override whose
+/// pattern is a substring of the row name wins; rows matching no
+/// override use the global `threshold`.
+pub fn compare_with_overrides(
+    current: &[BenchCase],
+    baseline: &[BenchCase],
+    threshold: f64,
+    overrides: &[(String, RowGate)],
+) -> CompareOutcome {
     let base: BTreeMap<&str, f64> = baseline
         .iter()
         .map(|c| (c.name.as_str(), c.median_ns))
@@ -138,19 +176,43 @@ pub fn compare(current: &[BenchCase], baseline: &[BenchCase], threshold: f64) ->
         .iter()
         .map(|c| (c.name.as_str(), c.median_ns))
         .collect();
+    let gate_of = |name: &str| -> RowGate {
+        overrides
+            .iter()
+            .find(|(pat, _)| name.contains(pat.as_str()))
+            .map(|(_, g)| *g)
+            .unwrap_or(RowGate::Threshold(threshold))
+    };
     let mut out = CompareOutcome::default();
     for c in current {
         match base.get(c.name.as_str()) {
             None => out.missing_in_baseline.push(c.name.clone()),
             Some(&b) => {
+                if !c.median_ns.is_finite() || !b.is_finite() {
+                    // A NaN/inf median cannot be compared — NaN ratios
+                    // answer `false` to every `>`, which would read as
+                    // "pass". Fail like a vanished case instead.
+                    out.missing_in_current
+                        .push(format!("{} (non-finite median)", c.name));
+                    continue;
+                }
                 let r = Regression {
                     name: c.name.clone(),
                     current_ns: c.median_ns,
                     baseline_ns: b,
                     ratio: c.median_ns / b,
                 };
-                if r.ratio > 1.0 + threshold {
-                    out.regressions.push(r.clone());
+                match gate_of(&c.name) {
+                    RowGate::Threshold(t) => {
+                        if r.ratio > 1.0 + t {
+                            out.regressions.push(r.clone());
+                        }
+                    }
+                    RowGate::Advisory => {
+                        if r.ratio > 1.0 + threshold {
+                            out.advisory.push(r.clone());
+                        }
+                    }
                 }
                 out.compared.push(r);
             }
@@ -277,6 +339,93 @@ mod tests {
         assert!((out.regressions[0].ratio - 1.16).abs() < 1e-12);
         assert_eq!(out.missing_in_baseline, vec!["new".to_string()]);
         assert_eq!(out.missing_in_current, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn nan_current_median_fails_like_a_vanished_case() {
+        // Regression test: a row present in the baseline whose current
+        // median is NaN (or inf) used to sail through the gate — NaN
+        // ratios answer `false` to every threshold comparison. It must
+        // fail exactly like a silently dropped benchmark.
+        let baseline = [case("a", 100.0), case("b", 100.0)];
+        let current = [case("a", f64::NAN), case("b", 90.0)];
+        let out = compare(&current, &baseline, 0.15);
+        assert!(out.regressions.is_empty());
+        assert_eq!(out.missing_in_current.len(), 1);
+        assert!(
+            out.missing_in_current[0].contains("a"),
+            "{:?}",
+            out.missing_in_current
+        );
+        // Same for an infinite median and for a NaN baseline.
+        let out = compare(&[case("a", f64::INFINITY)], &[case("a", 100.0)], 0.15);
+        assert_eq!(out.missing_in_current.len(), 1);
+        let out = compare(&[case("a", 100.0)], &[case("a", f64::NAN)], 0.15);
+        assert_eq!(out.missing_in_current.len(), 1);
+    }
+
+    #[test]
+    fn parser_accepts_non_finite_medians() {
+        // The writer can emit `NaN` for a zero-iteration case; the
+        // parser must carry it into `compare` (which then fails the
+        // row) instead of erroring out with exit 2 semantics.
+        let json = r#"{"benchmarks": [
+            {"name": "g/bad", "median_ns": NaN, "mean_ns": NaN},
+            {"name": "g/ok", "median_ns": 12.5}
+        ]}"#;
+        let cases = parse_report(json).unwrap();
+        assert_eq!(cases.len(), 2);
+        assert!(cases[0].median_ns.is_nan());
+        assert_eq!(cases[1].median_ns, 12.5);
+        let json_inf = r#"{"benchmarks": [{"name": "g/i", "median_ns": inf}]}"#;
+        assert!(parse_report(json_inf).unwrap()[0].median_ns.is_infinite());
+    }
+
+    #[test]
+    fn row_threshold_overrides_gate_per_row() {
+        let baseline = [
+            case("derivatives/atlas/dFD_into", 100.0),
+            case("derivatives/atlas/rollout_lane4", 100.0),
+            case("derivatives/atlas/mppi_batch64", 100.0),
+        ];
+        let current = [
+            case("derivatives/atlas/dFD_into", 120.0),
+            case("derivatives/atlas/rollout_lane4", 300.0),
+            case("derivatives/atlas/mppi_batch64", 108.0),
+        ];
+        let overrides = vec![
+            ("rollout_lane".to_string(), RowGate::Advisory),
+            ("mppi".to_string(), RowGate::Threshold(0.05)),
+        ];
+        let out = compare_with_overrides(&current, &baseline, 0.15, &overrides);
+        // dFD regressed past the global gate; mppi past its tighter
+        // row gate; the lane row only lands in the advisory bucket.
+        let failing: Vec<&str> = out.regressions.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            failing,
+            vec![
+                "derivatives/atlas/dFD_into",
+                "derivatives/atlas/mppi_batch64"
+            ]
+        );
+        assert_eq!(out.advisory.len(), 1);
+        assert!(out.advisory[0].name.contains("rollout_lane4"));
+        assert_eq!(out.compared.len(), 3);
+    }
+
+    #[test]
+    fn first_matching_override_wins() {
+        let baseline = [case("g/lane_special", 100.0)];
+        let current = [case("g/lane_special", 200.0)];
+        let overrides = vec![
+            ("lane_special".to_string(), RowGate::Threshold(2.0)),
+            ("lane".to_string(), RowGate::Advisory),
+        ];
+        let out = compare_with_overrides(&current, &baseline, 0.15, &overrides);
+        // The more specific first override (x3 allowed) wins: no
+        // regression, no advisory.
+        assert!(out.regressions.is_empty());
+        assert!(out.advisory.is_empty());
     }
 
     #[test]

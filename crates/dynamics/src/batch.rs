@@ -317,6 +317,169 @@ impl<'m> BatchEval<'m> {
         }
     }
 
+    /// Lane-group variant of [`BatchEval::for_each_with_scratch`]: the
+    /// batch is cut into **lane groups** of `lane_width` consecutive
+    /// items, pool chunks are aligned to group boundaries (a group is
+    /// never split across executors), and `f` is invoked once per group
+    /// with the group's item/output slices — full groups take the
+    /// lockstep lane kernels, the final short group (`items.len() %
+    /// lane_width`) falls back to the scalar path inside `f`. Zero
+    /// steady-state heap allocation, same bit-identical-at-any-worker-
+    /// count guarantee as the per-item entry points (each group's
+    /// outputs depend only on that group's inputs).
+    ///
+    /// `f(model, ws, scratch, group_start, group_items, group_outs)`
+    /// where `group_start` is the item index of the group's first
+    /// element and the two slices have equal length `<= lane_width`.
+    ///
+    /// # Errors
+    /// Propagates the `Err` with the smallest group start index (all
+    /// groups are still evaluated).
+    ///
+    /// # Panics
+    /// Panics if `items`/`outs` lengths differ, `lane_width == 0` or
+    /// `scratch` is shorter than [`BatchEval::threads`]; re-raises
+    /// worker panics after the pool has quiesced.
+    pub fn for_each_lane_groups<I, T, S, E, F>(
+        &mut self,
+        lane_width: usize,
+        items: &[I],
+        outs: &mut [T],
+        scratch: &mut [S],
+        f: F,
+    ) -> Result<(), E>
+    where
+        I: Sync,
+        T: Send,
+        S: Send,
+        E: Send,
+        F: Fn(&RobotModel, &mut DynamicsWorkspace, &mut S, usize, &[I], &mut [T]) -> Result<(), E>
+            + Sync,
+    {
+        assert_eq!(items.len(), outs.len(), "items/outs length mismatch");
+        assert!(lane_width > 0, "lane width must be positive");
+        assert!(
+            scratch.len() >= self.threads(),
+            "need one scratch slot per executor ({} < {})",
+            scratch.len(),
+            self.threads()
+        );
+        let n = items.len();
+        let n_groups = n.div_ceil(lane_width);
+        let par = self.effective_workers(n).min(n_groups.max(1));
+        self.last_workers = par;
+        let model = self.model;
+        if par <= 1 || self.pool.is_none() {
+            let ws = &mut self.workspaces[0];
+            let sc = &mut scratch[0];
+            let mut first_err = None;
+            for g in 0..n_groups {
+                let start = g * lane_width;
+                let end = (start + lane_width).min(n);
+                if let Err(e) = f(
+                    model,
+                    ws,
+                    sc,
+                    start,
+                    &items[start..end],
+                    &mut outs[start..end],
+                ) {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+            return match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
+
+        let chunk_groups = n_groups.div_ceil(par);
+        let first_err: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        let ws_ptr = SlotPtr(self.workspaces.as_mut_ptr());
+        let sc_ptr = SlotPtr(scratch.as_mut_ptr());
+        let out_ptr = SlotPtr(outs.as_mut_ptr());
+        let task = |w: usize| {
+            let g0 = w * chunk_groups;
+            if g0 >= n_groups {
+                return;
+            }
+            let g1 = (g0 + chunk_groups).min(n_groups);
+            // SAFETY: executor `w` exclusively owns workspace/scratch
+            // slot `w` and the item range `g0*lane_width .. g1*lane_width`
+            // (group-aligned chunks of distinct executors are disjoint);
+            // the caller blocks in `WorkerPool::run` until all executors
+            // finish.
+            let ws = unsafe { &mut *ws_ptr.get().add(w) };
+            let sc = unsafe { &mut *sc_ptr.get().add(w) };
+            for g in g0..g1 {
+                let start = g * lane_width;
+                let end = (start + lane_width).min(n);
+                let group_outs = unsafe {
+                    std::slice::from_raw_parts_mut(out_ptr.get().add(start), end - start)
+                };
+                if let Err(e) = f(model, ws, sc, start, &items[start..end], group_outs) {
+                    let mut g_lock = first_err
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if g_lock.as_ref().is_none_or(|(j, _)| start < *j) {
+                        *g_lock = Some((start, e));
+                    }
+                }
+            }
+        };
+        self.pool
+            .as_mut()
+            .expect("pool present when par > 1")
+            .run(par, &task);
+        match first_err
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// [`BatchEval::for_each_lane_groups`] returning the results in item
+    /// order (allocates the result vector; hot paths should reuse
+    /// outputs through `for_each_lane_groups`). `f` receives the group
+    /// and writes one `T` per item via the output slice.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as
+    /// [`BatchEval::for_each_lane_groups`].
+    pub fn map_lanes<I, T, S, F>(
+        &mut self,
+        lane_width: usize,
+        items: &[I],
+        scratch: &mut [S],
+        f: F,
+    ) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        S: Send,
+        F: Fn(&RobotModel, &mut DynamicsWorkspace, &mut S, usize, &[I], &mut [Option<T>]) + Sync,
+    {
+        let mut outs: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+        let ok: Result<(), std::convert::Infallible> = self.for_each_lane_groups(
+            lane_width,
+            items,
+            &mut outs,
+            scratch,
+            |model, ws, sc, start, group, group_outs| {
+                f(model, ws, sc, start, group, group_outs);
+                Ok(())
+            },
+        );
+        ok.expect("infallible");
+        outs.into_iter()
+            .map(|o| o.expect("every item evaluated"))
+            .collect()
+    }
+
     /// [`BatchEval::for_each_with_scratch`] without a user scratch slot
     /// (the per-executor [`DynamicsWorkspace`] is still provided).
     ///
@@ -597,6 +760,129 @@ mod tests {
             // All items were still evaluated.
             assert_eq!(outs, (0..16).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn lane_groups_cover_every_item_with_remainder() {
+        // 13 items at lane width 4 → groups of 4, 4, 4, 1; every group
+        // must arrive intact (never split across executors), the short
+        // remainder group last.
+        let model = robots::iiwa();
+        for threads in [0, 1, 2, 4] {
+            let mut batch = BatchEval::with_threads(&model, threads).with_point_flops(1e9);
+            let items: Vec<usize> = (0..13).collect();
+            let mut outs = vec![(0usize, 0usize); 13];
+            let mut unit: Vec<()> = vec![(); batch.threads()];
+            let r: Result<(), std::convert::Infallible> = batch.for_each_lane_groups(
+                4,
+                &items,
+                &mut outs,
+                &mut unit,
+                |_, _, (), start, group, group_outs| {
+                    assert_eq!(group.len(), group_outs.len());
+                    assert!(group.len() <= 4);
+                    assert_eq!(start % 4, 0, "groups start on lane boundaries");
+                    for (off, (it, out)) in group.iter().zip(group_outs.iter_mut()).enumerate() {
+                        *out = (start + off, *it * 10);
+                    }
+                    Ok(())
+                },
+            );
+            r.unwrap();
+            for (k, (idx, val)) in outs.iter().enumerate() {
+                assert_eq!(*idx, k, "{threads} threads");
+                assert_eq!(*val, k * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn map_lanes_matches_scalar_map() {
+        let model = robots::hyq();
+        let mut batch = BatchEval::with_threads(&model, 3).with_point_flops(1e9);
+        let items: Vec<usize> = (0..10).collect();
+        let mut unit: Vec<()> = vec![(); batch.threads()];
+        let out: Vec<usize> =
+            batch.map_lanes(4, &items, &mut unit, |_, _, (), start, group, outs| {
+                for (off, (it, o)) in group.iter().zip(outs.iter_mut()).enumerate() {
+                    *o = Some(*it + start + off);
+                }
+            });
+        assert_eq!(out, (0..10).map(|k| 2 * k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_group_error_with_smallest_start_wins() {
+        let model = robots::iiwa();
+        for threads in [1, 4] {
+            let mut batch = BatchEval::with_threads(&model, threads).with_point_flops(1e9);
+            let items: Vec<usize> = (0..16).collect();
+            let mut outs = vec![0usize; 16];
+            let mut unit: Vec<()> = vec![(); batch.threads()];
+            let r = batch.for_each_lane_groups(
+                4,
+                &items,
+                &mut outs,
+                &mut unit,
+                |_, _, (), start, group, group_outs| {
+                    for (it, o) in group.iter().zip(group_outs.iter_mut()) {
+                        *o = *it;
+                    }
+                    if start >= 8 {
+                        Err(start)
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+            assert_eq!(r, Err(8), "{threads} threads");
+            assert_eq!(outs, (0..16).collect::<Vec<_>>(), "all groups evaluated");
+        }
+    }
+
+    #[test]
+    fn lane_group_panic_propagates_and_pool_survives() {
+        // A panic inside a lane-group closure (e.g. a poisoned sample
+        // blowing an assert in the lane kernels) must surface on the
+        // caller with its payload, after the pool has quiesced — and the
+        // pool must stay usable.
+        let model = robots::iiwa();
+        let mut batch = BatchEval::with_threads(&model, 4).with_point_flops(1e9);
+        let items: Vec<usize> = (0..16).collect();
+        let mut unit: Vec<()> = vec![(); batch.threads()];
+
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut outs = vec![0usize; 16];
+            let r: Result<(), std::convert::Infallible> = batch.for_each_lane_groups(
+                4,
+                &items,
+                &mut outs,
+                &mut unit,
+                |_, _, (), start, group, group_outs| {
+                    if start == 12 {
+                        panic!("lane group failed at {start}");
+                    }
+                    for (it, o) in group.iter().zip(group_outs.iter_mut()) {
+                        *o = *it;
+                    }
+                    Ok(())
+                },
+            );
+            r.unwrap();
+        }));
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("lane group failed at 12"),
+            "payload preserved, got: {msg:?}"
+        );
+
+        // The pool is not poisoned: the same evaluator keeps working.
+        let out = batch.map(&items, |_, _, idx, &it| idx + it);
+        assert_eq!(out, (0..16).map(|k| 2 * k).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,1052 @@
+//! K-lane lockstep dynamics sweeps over structure-of-arrays state
+//! batches — the throughput path that turns the idle f64 SIMD lanes of
+//! the scalar kernels into per-sample parallelism.
+//!
+//! A [`LaneWorkspace`] holds lane-major (`[coord][lane]`) buffers for
+//! `K` robot states evaluated **in lockstep through one tree
+//! traversal**: the per-body bookkeeping (topology walks, motion
+//! subspace columns, branch decisions) is amortized across all `K`
+//! samples while the spatial arithmetic runs on `rbd_spatial::lane`
+//! SoA kernels.
+//!
+//! # Bit-identity contract
+//!
+//! Every lane kernel performs the identical op sequence as its scalar
+//! counterpart, lane by lane:
+//!
+//! * [`rnea_lanes_in_ws`] mirrors [`crate::rnea_in_ws`] (without
+//!   external forces);
+//! * [`forward_dynamics_aba_lanes_in_ws`] mirrors [`crate::aba_in_ws`];
+//! * [`rk4_rollout_lanes_into`] mirrors [`rk4_rollout_into`], the
+//!   scalar RK4/ABA rollout defined here.
+//!
+//! Lane `l` of any output is therefore **bit-identical** to running
+//! the scalar kernel on lane `l`'s inputs — pinned per model (floating
+//! base included) by `tests/lane_equivalence.rs` and the proptest
+//! suite. Batch consumers exploit this: `BatchEval::map_lanes` chunks a
+//! sample batch into lane groups with a scalar fallback for the
+//! remainder, and the result is indistinguishable from the serial
+//! scalar loop.
+//!
+//! # Memory layout
+//!
+//! Flat state batches are **lane-major**: `K` configurations are one
+//! `[f64]` of length `K·nq` with lane `l` at `l·nq..(l+1)·nq`, and
+//! control/trajectory buffers nest as `[lane][step][dim]`.
+//!
+//! # Example
+//! ```
+//! use rbd_dynamics::{lanes, DynamicsWorkspace};
+//! use rbd_model::{random_state, robots};
+//! let model = robots::iiwa();
+//! let mut lws = lanes::LaneWorkspace::<4>::new(&model);
+//! let (nq, nv) = (model.nq(), model.nv());
+//! let mut q = vec![0.0; 4 * nq];
+//! let mut qd = vec![0.0; 4 * nv];
+//! for l in 0..4 {
+//!     let s = random_state(&model, l as u64);
+//!     q[l * nq..(l + 1) * nq].copy_from_slice(&s.q);
+//!     qd[l * nv..(l + 1) * nv].copy_from_slice(&s.qd);
+//! }
+//! let qdd = vec![0.1; 4 * nv];
+//! lanes::rnea_lanes_in_ws(&model, &mut lws, &q, &qd, &qdd, 1.0);
+//! // Lane 2's torque equals the scalar RNEA at lane 2's state.
+//! let mut ws = DynamicsWorkspace::new(&model);
+//! let s2 = random_state(&model, 2);
+//! let tau2 = rbd_dynamics::rnea(&model, &mut ws, &s2.q, &s2.qd, &vec![0.1; nv], None);
+//! for d in 0..nv {
+//!     assert_eq!(lws.tau_lanes()[d][2], tau2[d]);
+//! }
+//! ```
+
+use crate::workspace::DynamicsWorkspace;
+use crate::DynamicsError;
+use rbd_model::{integrate_config_into, RobotModel};
+use rbd_spatial::{LaneForceVec, LaneMat6, LaneMotionVec, LaneXform, MotionVec, Xform};
+
+/// Default lane width of the dynamics sweeps (re-exported from
+/// `rbd_spatial`): four samples per lockstep traversal.
+pub const LANE_WIDTH: usize = rbd_spatial::DEFAULT_LANE_WIDTH;
+
+/// Lane-major scratch for the lockstep sweeps: one slot per body/DOF,
+/// each slot `K` lanes wide. Allocate once per (model, executor) and
+/// reuse — every kernel here performs zero steady-state heap
+/// allocation (proven by the counting-allocator test in
+/// `tests/zero_alloc.rs`).
+#[derive(Debug, Clone)]
+pub struct LaneWorkspace<const K: usize> {
+    /// Local motion-subspace columns, flat per DOF (constant).
+    s: Vec<MotionVec>,
+    /// Offsets into [`Self::s`], length `nb + 1`.
+    s_off: Vec<usize>,
+    /// Parent→child transforms per body, one lane per state.
+    xup: Vec<LaneXform<K>>,
+    /// Spatial velocities per body.
+    v: Vec<LaneMotionVec<K>>,
+    /// Spatial accelerations per body.
+    a: Vec<LaneMotionVec<K>>,
+    /// Velocity-product accelerations `c_i = v_i × vJ_i` (ABA).
+    c_bias: Vec<LaneMotionVec<K>>,
+    /// Net body forces (RNEA backward accumulator).
+    f: Vec<LaneForceVec<K>>,
+    /// ABA bias forces.
+    pa: Vec<LaneForceVec<K>>,
+    /// Articulated inertias per body.
+    ia: Vec<LaneMat6<K>>,
+    /// Broadcast link inertias (constant per model): pass 1 of the lane
+    /// ABA copies these instead of re-broadcasting `to_mat6` per call.
+    ia_init: Vec<LaneMat6<K>>,
+    /// `U = I^A S` columns per DOF.
+    u: Vec<LaneForceVec<K>>,
+    /// Joint-space inverses per body, lane-major.
+    d_inv: Vec<[[[f64; K]; 6]; 6]>,
+    /// Joint-space bias `u = τ − Sᵀ p^A` per DOF.
+    ub: Vec<[f64; K]>,
+    /// Lane-packed generalized velocity input.
+    qd_l: Vec<[f64; K]>,
+    /// Lane-packed `q̈` input (RNEA) / output (ABA).
+    qdd_l: Vec<[f64; K]>,
+    /// Lane-packed torque input (ABA) / output (RNEA).
+    tau_l: Vec<[f64; K]>,
+    /// Per-lane scalar staging for the kinematics gather (fallback
+    /// path of non-revolute joints).
+    xf_stage: Vec<Xform>,
+    /// Per-body constants of the lane-vectorized revolute kinematics
+    /// (`None` for non-revolute joints, which fall back to per-lane
+    /// scalar `child_xform` calls).
+    rev_const: Vec<Option<RevoluteLaneConst>>,
+}
+
+/// Constants of one revolute joint's lane kinematics: the Rodrigues
+/// skew matrices `k = axis×` and `k²` (recomputed per call by the
+/// scalar path, but constant — same values every call), the placement
+/// rotation for the compose product, and the composed translation
+/// `placement.trans + placement.rotᵀ·0` (the joint translation of a
+/// revolute joint is exactly zero, so this term is call-invariant;
+/// evaluated once through the scalar expression so the stored bits
+/// match what the scalar path produces every call).
+#[derive(Debug, Clone)]
+struct RevoluteLaneConst {
+    /// `k = skew(axis)`, flat row-major.
+    k: [f64; 9],
+    /// `k² = mul3(k, k)`, flat row-major.
+    kk: [f64; 9],
+    /// Placement rotation, flat row-major.
+    p_rot: [f64; 9],
+    /// Composed translation (constant across `q`).
+    t0: rbd_spatial::Vec3,
+    /// Configuration offset of the joint's single coordinate.
+    q_off: usize,
+}
+
+impl<const K: usize> LaneWorkspace<K> {
+    /// Allocates lane buffers sized for `model`.
+    pub fn new(model: &RobotModel) -> Self {
+        assert!(K >= 1, "lane width must be at least 1");
+        let nb = model.num_bodies();
+        let nv = model.nv();
+        let mut s = Vec::with_capacity(nv);
+        let mut s_off = Vec::with_capacity(nb + 1);
+        s_off.push(0);
+        for i in 0..nb {
+            s.extend(model.joint(i).jtype.motion_subspace());
+            s_off.push(s.len());
+        }
+        Self {
+            s,
+            s_off,
+            xup: vec![LaneXform::identity(); nb],
+            v: vec![LaneMotionVec::zero(); nb],
+            a: vec![LaneMotionVec::zero(); nb],
+            c_bias: vec![LaneMotionVec::zero(); nb],
+            f: vec![LaneForceVec::zero(); nb],
+            pa: vec![LaneForceVec::zero(); nb],
+            ia: vec![LaneMat6::zero(); nb],
+            ia_init: (0..nb)
+                .map(|i| LaneMat6::broadcast(&model.link_inertia(i).to_mat6()))
+                .collect(),
+            u: vec![LaneForceVec::zero(); nv],
+            d_inv: vec![[[[0.0; K]; 6]; 6]; nb],
+            ub: vec![[0.0; K]; nv],
+            qd_l: vec![[0.0; K]; nv],
+            qdd_l: vec![[0.0; K]; nv],
+            tau_l: vec![[0.0; K]; nv],
+            xf_stage: vec![Xform::identity(); K],
+            rev_const: (0..nb)
+                .map(|i| {
+                    let joint = model.joint(i);
+                    let rbd_model::JointType::Revolute(axis) = joint.jtype else {
+                        return None;
+                    };
+                    let k = rbd_spatial::Mat3::skew(axis);
+                    let kk = k * k;
+                    // Exactly the scalar compose's translation with the
+                    // revolute joint's zero translation.
+                    let t0 = joint.placement.trans
+                        + joint.placement.rot.tr_mul_vec(&rbd_spatial::Vec3::zero());
+                    Some(RevoluteLaneConst {
+                        k: *k.as_array(),
+                        kk: *kk.as_array(),
+                        p_rot: *joint.placement.rot.as_array(),
+                        t0,
+                        q_off: model.q_offset(i),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Lane-packed joint torques (RNEA output), one `[f64; K]` per DOF.
+    pub fn tau_lanes(&self) -> &[[f64; K]] {
+        &self.tau_l
+    }
+
+    /// Lane-packed joint accelerations (ABA output), one `[f64; K]` per
+    /// DOF.
+    pub fn qdd_lanes(&self) -> &[[f64; K]] {
+        &self.qdd_l
+    }
+
+    /// Scatters the ABA output into a flat lane-major slice
+    /// (`out[l·nv + d] = q̈_l[d]`, `out.len() == K·nv`).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn scatter_qdd(&self, out: &mut [f64]) {
+        let nv = self.qdd_l.len();
+        assert_eq!(out.len(), K * nv, "scatter_qdd length");
+        for (d, lanes) in self.qdd_l.iter().enumerate() {
+            for (l, &x) in lanes.iter().enumerate() {
+                out[l * nv + d] = x;
+            }
+        }
+    }
+
+    /// Per-lane forward kinematics into lane transforms. Revolute
+    /// joints (the bulk of every model) take a lane-vectorized path:
+    /// `sin_cos` stays a scalar libm call per lane — the only
+    /// inherently serial step — while the Rodrigues rotation build and
+    /// the placement compose run lane-wise with the scalar expression
+    /// tree mirrored exactly, so the transforms are bit-identical to
+    /// per-lane `child_xform` calls (`Mat3::rotation_axis_sc` +
+    /// transpose + `Xform::compose`, same association order per
+    /// entry). Non-revolute joints fall back to the scalar
+    /// `child_xform` per lane, gathered.
+    fn update_kinematics(&mut self, model: &RobotModel, q: &[f64]) {
+        let nq = model.nq();
+        assert_eq!(q.len(), K * nq, "lane q dimension");
+        for i in 0..model.num_bodies() {
+            if let Some(rc) = &self.rev_const[i] {
+                // Per-lane trig (serial: libm).
+                let mut s = [0.0; K];
+                let mut c = [0.0; K];
+                for l in 0..K {
+                    let (sl, cl) = q[l * nq + rc.q_off].sin_cos();
+                    s[l] = sl;
+                    c[l] = cl;
+                }
+                // E_J = (I + k·s + k²·(1−c))ᵀ lane-wise: entry (r,cc)
+                // reads source index (cc,r) — the transpose fused into
+                // the build. Mirrors `rotation_axis_sc` + `transpose`.
+                const ID: [f64; 9] = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+                let mut e = [[0.0; K]; 9];
+                for r in 0..3 {
+                    for cc in 0..3 {
+                        let src = 3 * cc + r;
+                        let (idv, kv, kkv) = (ID[src], rc.k[src], rc.kk[src]);
+                        let dst = &mut e[3 * r + cc];
+                        for l in 0..K {
+                            dst[l] = (idv + kv * s[l]) + kkv * (1.0 - c[l]);
+                        }
+                    }
+                }
+                // Compose with the placement: rot = E_J · P.rot
+                // (mirrors `mul3` with a broadcast right operand);
+                // trans = P.trans + P.rotᵀ·0, the precomputed constant.
+                let mut rot = [[0.0; K]; 9];
+                for r in 0..3 {
+                    for cc in 0..3 {
+                        let (p0, p1, p2) = (rc.p_rot[cc], rc.p_rot[3 + cc], rc.p_rot[6 + cc]);
+                        let (a0, a1, a2) = (&e[3 * r], &e[3 * r + 1], &e[3 * r + 2]);
+                        let dst = &mut rot[3 * r + cc];
+                        for l in 0..K {
+                            dst[l] = a0[l] * p0 + a1[l] * p1 + a2[l] * p2;
+                        }
+                    }
+                }
+                self.xup[i] = LaneXform {
+                    rot: rbd_spatial::LaneMat3::from_lanes(rot),
+                    trans: rbd_spatial::LaneVec3::broadcast(rc.t0),
+                };
+            } else {
+                for (l, xf) in self.xf_stage.iter_mut().enumerate() {
+                    *xf = model
+                        .joint(i)
+                        .child_xform(model.q_slice(i, &q[l * nq..(l + 1) * nq]));
+                }
+                self.xup[i] = LaneXform::gather(&self.xf_stage);
+            }
+        }
+    }
+
+    /// Packs a flat lane-major `K·nv` slice into per-DOF lane blocks.
+    fn pack_dof(src: &[f64], dst: &mut [[f64; K]]) {
+        let nv = dst.len();
+        assert_eq!(src.len(), K * nv, "lane dof dimension");
+        for (d, lanes) in dst.iter_mut().enumerate() {
+            for (l, x) in lanes.iter_mut().enumerate() {
+                *x = src[l * nv + d];
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn lane_sub<const K: usize>(a: [f64; K], b: [f64; K]) -> [f64; K] {
+    let mut o = a;
+    for l in 0..K {
+        o[l] -= b[l];
+    }
+    o
+}
+
+/// Lane mirror of `invert_spd_small` for `2 <= n <= 6` (the `n == 1`
+/// reciprocal fast path lives at the call site): the unpivoted LDLᵀ has
+/// data-independent control flow, so all `K` factorizations run in
+/// lockstep with the scalar op order per lane — bit-identical to `K`
+/// scalar `invert_spd_small` calls. Only the pivot-threshold check
+/// inspects lane values, and it only decides success vs failure.
+fn invert_spd_small_lanes<const K: usize>(
+    d: &[[[f64; K]; 6]; 6],
+    n: usize,
+    out: &mut [[[f64; K]; 6]; 6],
+) -> Result<(), rbd_spatial::matn::FactorizationError> {
+    let mut l = [[[0.0; K]; 6]; 6];
+    let mut diag = [[0.0; K]; 6];
+    for (i, lrow) in l.iter_mut().enumerate().take(n) {
+        lrow[i] = [1.0; K];
+    }
+    for j in 0..n {
+        let mut dj = d[j][j];
+        for k in 0..j {
+            for (x, (ljk, dk)) in dj.iter_mut().zip(l[j][k].iter().zip(&diag[k])) {
+                *x -= ljk * ljk * dk;
+            }
+        }
+        if dj.iter().any(|x| x.abs() < 1e-12) {
+            return Err(rbd_spatial::matn::FactorizationError::ZeroPivot { index: j });
+        }
+        diag[j] = dj;
+        for i in (j + 1)..n {
+            let mut s = d[i][j];
+            for k in 0..j {
+                for (x, (lik, (ljk, dk))) in s
+                    .iter_mut()
+                    .zip(l[i][k].iter().zip(l[j][k].iter().zip(&diag[k])))
+                {
+                    *x -= lik * ljk * dk;
+                }
+            }
+            for (x, dv) in s.iter_mut().zip(&dj) {
+                *x /= dv;
+            }
+            l[i][j] = s;
+        }
+    }
+    for j in 0..n {
+        // Solve L D Lᵀ x = e_j into column j.
+        let mut x = [[0.0; K]; 6];
+        x[j] = [1.0; K];
+        for i in 0..n {
+            let mut s = x[i];
+            for k in 0..i {
+                for (sv, (lik, xk)) in s.iter_mut().zip(l[i][k].iter().zip(&x[k])) {
+                    *sv -= lik * xk;
+                }
+            }
+            x[i] = s;
+        }
+        for i in 0..n {
+            for (xv, dv) in x[i].iter_mut().zip(&diag[i]) {
+                *xv /= dv;
+            }
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                for (sv, (lki, xk)) in s.iter_mut().zip(l[k][i].iter().zip(&x[k])) {
+                    *sv -= lki * xk;
+                }
+            }
+            x[i] = s;
+        }
+        for (i, xi) in x.iter().enumerate().take(n) {
+            out[i][j] = *xi;
+        }
+    }
+    Ok(())
+}
+
+/// Lane-batched inverse dynamics: `K` RNEA sweeps in lockstep (mirror
+/// of [`crate::rnea_in_ws`] without external forces). Inputs are flat
+/// lane-major slices (`q`: `K·nq`, `qd`/`qdd`: `K·nv`); the torques
+/// land in [`LaneWorkspace::tau_lanes`]. Zero steady-state allocation.
+///
+/// On x86-64 hosts with AVX2 the sweep dispatches to an AVX2-compiled
+/// clone of the identical code (runtime-detected): the per-lane op
+/// sequences are unchanged — IEEE f64 arithmetic is the same at any
+/// vector width — so outputs stay bit-identical; only the codegen
+/// widens from the baseline 2-wide SSE2 to 4-wide registers.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn rnea_lanes_in_ws<const K: usize>(
+    model: &RobotModel,
+    lws: &mut LaneWorkspace<K>,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    gravity_scale: f64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just verified at runtime.
+        unsafe { rnea_lanes_avx2(model, lws, q, qd, qdd, gravity_scale) };
+        return;
+    }
+    rnea_lanes_impl(model, lws, q, qd, qdd, gravity_scale);
+}
+
+/// AVX2-compiled clone of [`rnea_lanes_impl`] (see the dispatcher's
+/// bit-identity note).
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rnea_lanes_avx2<const K: usize>(
+    model: &RobotModel,
+    lws: &mut LaneWorkspace<K>,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    gravity_scale: f64,
+) {
+    rnea_lanes_impl(model, lws, q, qd, qdd, gravity_scale);
+}
+
+#[inline(always)]
+fn rnea_lanes_impl<const K: usize>(
+    model: &RobotModel,
+    lws: &mut LaneWorkspace<K>,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+    gravity_scale: f64,
+) {
+    let nb = model.num_bodies();
+    lws.update_kinematics(model, q);
+    LaneWorkspace::pack_dof(qd, &mut lws.qd_l);
+    LaneWorkspace::pack_dof(qdd, &mut lws.qdd_l);
+    let a0 = LaneMotionVec::broadcast(MotionVec::new(
+        rbd_spatial::Vec3::zero(),
+        -model.gravity * gravity_scale,
+    ));
+
+    // Forward pass: velocities, accelerations, net body forces.
+    for i in 0..nb {
+        let vo = model.v_offset(i);
+        let ni = lws.s_off[i + 1] - lws.s_off[i];
+        let cols = &lws.s[vo..vo + ni];
+
+        let vj = LaneMotionVec::weighted_sum(cols, &lws.qd_l[vo..vo + ni]);
+        let aj = LaneMotionVec::weighted_sum(cols, &lws.qdd_l[vo..vo + ni]);
+
+        let xup = &lws.xup[i];
+        let (v_par, a_par) = match model.topology().parent(i) {
+            Some(p) => (xup.apply_motion(&lws.v[p]), xup.apply_motion(&lws.a[p])),
+            None => (LaneMotionVec::zero(), xup.apply_motion(&a0)),
+        };
+        let v = v_par.add(&vj);
+        let a = a_par.add(&aj).add(&v.cross_motion(&vj));
+
+        let inertia = model.link_inertia(i);
+        let f = inertia
+            .mul_motion_lanes(&a)
+            .add(&v.cross_force(&inertia.mul_motion_lanes(&v)));
+
+        lws.v[i] = v;
+        lws.a[i] = a;
+        lws.f[i] = f;
+    }
+
+    // Backward pass: project torques, propagate forces to parents.
+    for i in (0..nb).rev() {
+        let vo = model.v_offset(i);
+        let ni = lws.s_off[i + 1] - lws.s_off[i];
+        for k in 0..ni {
+            lws.tau_l[vo + k] = LaneMotionVec::dot_scalar_col(&lws.f[i], &lws.s[vo + k]);
+        }
+        if let Some(p) = model.topology().parent(i) {
+            let fp = lws.xup[i].inv_apply_force(&lws.f[i]);
+            lws.f[p].add_assign(&fp);
+        }
+    }
+}
+
+/// Lane-batched O(n) forward dynamics: `K` articulated-body sweeps in
+/// lockstep (mirror of [`crate::aba_in_ws`] without external forces).
+/// Inputs are flat lane-major slices; the accelerations land in
+/// [`LaneWorkspace::qdd_lanes`]. Zero steady-state allocation. AVX2
+/// hosts take a runtime-dispatched AVX2-compiled clone with
+/// bit-identical outputs (see [`rnea_lanes_in_ws`]).
+///
+/// # Errors
+/// Returns [`DynamicsError::SingularMassMatrix`] when any lane's
+/// joint-space articulated inertia block is singular.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn forward_dynamics_aba_lanes_in_ws<const K: usize>(
+    model: &RobotModel,
+    lws: &mut LaneWorkspace<K>,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+) -> Result<(), DynamicsError> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just verified at runtime.
+        return unsafe { fd_aba_lanes_avx2(model, lws, q, qd, tau) };
+    }
+    fd_aba_lanes_impl(model, lws, q, qd, tau)
+}
+
+/// AVX2-compiled clone of [`fd_aba_lanes_impl`] (bit-identical; see
+/// [`rnea_lanes_in_ws`]).
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fd_aba_lanes_avx2<const K: usize>(
+    model: &RobotModel,
+    lws: &mut LaneWorkspace<K>,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+) -> Result<(), DynamicsError> {
+    fd_aba_lanes_impl(model, lws, q, qd, tau)
+}
+
+#[inline(always)]
+fn fd_aba_lanes_impl<const K: usize>(
+    model: &RobotModel,
+    lws: &mut LaneWorkspace<K>,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+) -> Result<(), DynamicsError> {
+    let nb = model.num_bodies();
+    lws.update_kinematics(model, q);
+    LaneWorkspace::pack_dof(qd, &mut lws.qd_l);
+    LaneWorkspace::pack_dof(tau, &mut lws.tau_l);
+    let a0 = LaneMotionVec::broadcast(MotionVec::new(rbd_spatial::Vec3::zero(), -model.gravity));
+
+    // Pass 1: velocities, bias accelerations, articulated init.
+    for i in 0..nb {
+        let vo = model.v_offset(i);
+        let ni = lws.s_off[i + 1] - lws.s_off[i];
+        let vj = LaneMotionVec::weighted_sum(&lws.s[vo..vo + ni], &lws.qd_l[vo..vo + ni]);
+        let v = match model.topology().parent(i) {
+            Some(p) => lws.xup[i].apply_motion(&lws.v[p]).add(&vj),
+            None => vj,
+        };
+        lws.c_bias[i] = v.cross_motion(&vj);
+        let inertia = model.link_inertia(i);
+        lws.ia[i] = lws.ia_init[i];
+        lws.pa[i] = v.cross_force(&inertia.mul_motion_lanes(&v));
+        lws.v[i] = v;
+    }
+
+    // Pass 2: articulated inertia backward sweep.
+    for i in (0..nb).rev() {
+        let vo = model.v_offset(i);
+        let ni = lws.s_off[i + 1] - lws.s_off[i];
+        for k in 0..ni {
+            lws.u[vo + k] = lws.ia[i].mul_scalar_motion_to_force(&lws.s[vo + k]);
+        }
+        // Joint-space matrix D = Sᵀ U, then its inverse per lane via the
+        // same stack LDLᵀ routine the scalar path calls — bit-identical
+        // lane by lane.
+        let mut d = [[[0.0; K]; 6]; 6];
+        for (ar, drow) in d.iter_mut().enumerate().take(ni) {
+            for (b, db) in drow.iter_mut().enumerate().take(ni) {
+                *db = lws.u[vo + b].dot_scalar_motion(&lws.s[vo + ar]);
+            }
+        }
+        if ni == 1 {
+            // 1-DOF fast path: the same |d| pivot check + reciprocal
+            // `invert_spd_small` performs for n = 1, without the 6×6
+            // extract/scatter round-trip per lane.
+            let d00 = d[0][0];
+            let di = &mut lws.d_inv[i];
+            for (l, &x) in d00.iter().enumerate() {
+                if x.abs() < 1e-12 {
+                    return Err(DynamicsError::SingularMassMatrix(
+                        rbd_spatial::matn::FactorizationError::ZeroPivot { index: 0 },
+                    ));
+                }
+                di[0][0][l] = 1.0 / x;
+            }
+        } else {
+            invert_spd_small_lanes(&d, ni, &mut lws.d_inv[i]).map_err(DynamicsError::from)?;
+        }
+        for k in 0..ni {
+            lws.ub[vo + k] = lane_sub(
+                lws.tau_l[vo + k],
+                lws.pa[i].dot_scalar_motion(&lws.s[vo + k]),
+            );
+        }
+
+        if let Some(p) = model.topology().parent(i) {
+            // Ia = IA - U D⁻¹ Uᵀ, updated in place: body `i`'s lane
+            // inertia is never read again after this backward visit
+            // (pass 3 only uses `u`/`d_inv`/`ub`), so no copy is needed.
+            // `p < i` under the topological numbering, letting the two
+            // lane inertias borrow disjointly.
+            let (head, tail) = lws.ia.split_at_mut(i);
+            let ia_i = &mut tail[0];
+            let dinv = &lws.d_inv[i];
+            ia_i.sub_outer_weighted(&lws.u[vo..vo + ni], |ar, b| dinv[ar][b]);
+            // pa' = pA + Ia c + U D⁻¹ u
+            let mut pai = lws.pa[i].add(&ia_i.mul_motion_to_force(&lws.c_bias[i]));
+            for ar in 0..ni {
+                let mut coeff = [0.0; K];
+                for b in 0..ni {
+                    for (l, c) in coeff.iter_mut().enumerate() {
+                        *c += dinv[ar][b][l] * lws.ub[vo + b][l];
+                    }
+                }
+                pai.add_assign(&lws.u[vo + ar].scale(coeff));
+            }
+            ia_i.add_congruence_xform_sym(&lws.xup[i], &mut head[p]);
+            let fp = lws.xup[i].inv_apply_force(&pai);
+            lws.pa[p].add_assign(&fp);
+        }
+    }
+
+    // Pass 3: accelerations forward sweep.
+    for i in 0..nb {
+        let vo = model.v_offset(i);
+        let ni = lws.s_off[i + 1] - lws.s_off[i];
+        let a_par = match model.topology().parent(i) {
+            Some(p) => lws.xup[i].apply_motion(&lws.a[p]),
+            None => lws.xup[i].apply_motion(&a0),
+        };
+        let a_prime = a_par.add(&lws.c_bias[i]);
+        let mut rhs = [[0.0; K]; 6];
+        for (k, r) in rhs.iter_mut().enumerate().take(ni) {
+            *r = lane_sub(lws.ub[vo + k], lws.u[vo + k].dot_motion(&a_prime));
+        }
+        let mut out = [[0.0; K]; 6];
+        let dinv = &lws.d_inv[i];
+        for (ar, o) in out.iter_mut().enumerate().take(ni) {
+            for (b, r) in rhs.iter().enumerate().take(ni) {
+                for (l, x) in o.iter_mut().enumerate() {
+                    *x += dinv[ar][b][l] * r[l];
+                }
+            }
+        }
+        let mut a_i = a_prime;
+        for k in 0..ni {
+            lws.qdd_l[vo + k] = out[k];
+            a_i.add_scaled_col(&lws.s[vo + k], out[k]);
+        }
+        lws.a[i] = a_i;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// RK4 rollout kernels (the sampling-MPC workload unit).
+// ---------------------------------------------------------------------
+
+/// Reusable stage buffers for the scalar RK4/ABA rollout
+/// ([`rk4_step_aba_into`] / [`rk4_rollout_into`]).
+#[derive(Debug, Clone, Default)]
+pub struct RolloutScratch {
+    q_stage: Vec<f64>,
+    qd_stage: [Vec<f64>; 3],
+    ka: [Vec<f64>; 4],
+    vbar: Vec<f64>,
+}
+
+impl RolloutScratch {
+    /// Scratch sized for `model`.
+    pub fn for_model(model: &RobotModel) -> Self {
+        let mut s = Self::default();
+        s.ensure_dims(model);
+        s
+    }
+
+    /// Sizes every buffer for `model`; allocation-free when already
+    /// sized.
+    pub fn ensure_dims(&mut self, model: &RobotModel) {
+        self.q_stage.resize(model.nq(), 0.0);
+        for v in self.qd_stage.iter_mut() {
+            v.resize(model.nv(), 0.0);
+        }
+        for v in self.ka.iter_mut() {
+            v.resize(model.nv(), 0.0);
+        }
+        self.vbar.resize(model.nv(), 0.0);
+    }
+}
+
+/// One classical RK4 step on the configuration manifold with the O(n)
+/// ABA as the stage dynamics — the scalar op-sequence reference of the
+/// lane rollout ([`rk4_rollout_lanes_into`] performs exactly this
+/// arithmetic per lane). Zero steady-state allocation.
+///
+/// # Errors
+/// Propagates a singular joint-space block from the ABA stages.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)] // state + control + two outputs, mirrors rk4_step
+pub fn rk4_step_aba_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    scratch: &mut RolloutScratch,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    h: f64,
+    q_new: &mut [f64],
+    qd_new: &mut [f64],
+) -> Result<(), DynamicsError> {
+    let nv = model.nv();
+    scratch.ensure_dims(model);
+    let RolloutScratch {
+        q_stage,
+        qd_stage,
+        ka,
+        vbar,
+    } = scratch;
+    let [qd2, qd3, qd4] = qd_stage;
+    let [k1a, k2a, k3a, k4a] = ka;
+
+    crate::aba::aba_in_ws(model, ws, q, qd, tau, None, k1a)?;
+    integrate_config_into(model, q, qd, h / 2.0, q_stage);
+    for i in 0..nv {
+        qd2[i] = qd[i] + h / 2.0 * k1a[i];
+    }
+    crate::aba::aba_in_ws(model, ws, q_stage, qd2, tau, None, k2a)?;
+    integrate_config_into(model, q, qd2, h / 2.0, q_stage);
+    for i in 0..nv {
+        qd3[i] = qd[i] + h / 2.0 * k2a[i];
+    }
+    crate::aba::aba_in_ws(model, ws, q_stage, qd3, tau, None, k3a)?;
+    integrate_config_into(model, q, qd3, h, q_stage);
+    for i in 0..nv {
+        qd4[i] = qd[i] + h * k3a[i];
+    }
+    crate::aba::aba_in_ws(model, ws, q_stage, qd4, tau, None, k4a)?;
+
+    for i in 0..nv {
+        vbar[i] = (qd[i] + 2.0 * qd2[i] + 2.0 * qd3[i] + qd4[i]) / 6.0;
+    }
+    integrate_config_into(model, q, vbar, h, q_new);
+    for i in 0..nv {
+        qd_new[i] = qd[i] + h / 6.0 * (k1a[i] + 2.0 * k2a[i] + 2.0 * k3a[i] + k4a[i]);
+    }
+    Ok(())
+}
+
+/// Scalar RK4/ABA rollout of one control sequence: `horizon` steps from
+/// `(q0, q̇0)` under `us` (`[step][nv]`, flat `horizon·nv`), writing the
+/// full state trajectory (`q_traj`: `(horizon+1)·nq`, `qd_traj`:
+/// `(horizon+1)·nv`, step-major). Zero steady-state allocation — the
+/// per-sample reference unit of the sampling-MPC workload, and the
+/// scalar fallback of the lane rollout.
+///
+/// # Errors
+/// Propagates a singular joint-space block from any stage.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)] // initial state + controls + two trajectory outputs
+pub fn rk4_rollout_into(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    scratch: &mut RolloutScratch,
+    q0: &[f64],
+    qd0: &[f64],
+    us: &[f64],
+    horizon: usize,
+    dt: f64,
+    q_traj: &mut [f64],
+    qd_traj: &mut [f64],
+) -> Result<(), DynamicsError> {
+    let nq = model.nq();
+    let nv = model.nv();
+    assert_eq!(q0.len(), nq, "q0 dimension");
+    assert_eq!(qd0.len(), nv, "qd0 dimension");
+    assert_eq!(us.len(), horizon * nv, "controls dimension");
+    assert_eq!(q_traj.len(), (horizon + 1) * nq, "q trajectory dimension");
+    assert_eq!(qd_traj.len(), (horizon + 1) * nv, "qd trajectory dimension");
+    q_traj[..nq].copy_from_slice(q0);
+    qd_traj[..nv].copy_from_slice(qd0);
+    for step in 0..horizon {
+        let (q_head, q_tail) = q_traj.split_at_mut((step + 1) * nq);
+        let (qd_head, qd_tail) = qd_traj.split_at_mut((step + 1) * nv);
+        rk4_step_aba_into(
+            model,
+            ws,
+            scratch,
+            &q_head[step * nq..],
+            &qd_head[step * nv..],
+            &us[step * nv..(step + 1) * nv],
+            dt,
+            &mut q_tail[..nq],
+            &mut qd_tail[..nv],
+        )?;
+    }
+    Ok(())
+}
+
+/// Reusable lane-major stage buffers for [`rk4_rollout_lanes_into`]
+/// (`K·nq` / `K·nv` flat blocks, lane `l` contiguous at `l·dim`).
+#[derive(Debug, Clone, Default)]
+pub struct LaneRolloutScratch {
+    q_stage: Vec<f64>,
+    qd_stage: [Vec<f64>; 3],
+    ka: [Vec<f64>; 4],
+    vbar: Vec<f64>,
+    q_cur: Vec<f64>,
+    qd_cur: Vec<f64>,
+    tau_cur: Vec<f64>,
+}
+
+impl LaneRolloutScratch {
+    /// Scratch sized for `model` at lane width `k`.
+    pub fn for_model(model: &RobotModel, k: usize) -> Self {
+        let mut s = Self::default();
+        s.ensure_dims(model, k);
+        s
+    }
+
+    /// Sizes every buffer; allocation-free when already sized.
+    pub fn ensure_dims(&mut self, model: &RobotModel, k: usize) {
+        self.q_stage.resize(k * model.nq(), 0.0);
+        for v in self.qd_stage.iter_mut() {
+            v.resize(k * model.nv(), 0.0);
+        }
+        for v in self.ka.iter_mut() {
+            v.resize(k * model.nv(), 0.0);
+        }
+        self.vbar.resize(k * model.nv(), 0.0);
+        self.q_cur.resize(k * model.nq(), 0.0);
+        self.qd_cur.resize(k * model.nv(), 0.0);
+        self.tau_cur.resize(k * model.nv(), 0.0);
+    }
+}
+
+/// Lane-batched RK4/ABA rollout: `K` control sequences rolled out in
+/// lockstep through the lane forward-dynamics sweep. Layouts are
+/// lane-major: `q0` is `K·nq`, `us` is `[lane][step][nv]` (flat
+/// `K·horizon·nv`), and the trajectories nest as `[lane][step][dim]`
+/// (flat `K·(horizon+1)·nq` / `K·(horizon+1)·nv`) so each lane's
+/// trajectory is contiguous for downstream cost evaluation.
+///
+/// Mirrors [`rk4_rollout_into`] lane by lane (same stage arithmetic,
+/// same `integrate_config_into` manifold steps, the ABA stages through
+/// the lockstep lane sweep): lane `l`'s trajectory is bit-identical to
+/// the scalar rollout of lane `l`'s inputs. Zero steady-state
+/// allocation.
+///
+/// # Errors
+/// Propagates a singular joint-space block from any lane/stage.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)] // initial states + controls + two trajectory outputs
+pub fn rk4_rollout_lanes_into<const K: usize>(
+    model: &RobotModel,
+    lws: &mut LaneWorkspace<K>,
+    scratch: &mut LaneRolloutScratch,
+    q0: &[f64],
+    qd0: &[f64],
+    us: &[f64],
+    horizon: usize,
+    dt: f64,
+    q_traj: &mut [f64],
+    qd_traj: &mut [f64],
+) -> Result<(), DynamicsError> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just verified at runtime.
+        return unsafe {
+            rk4_rollout_lanes_avx2(
+                model, lws, scratch, q0, qd0, us, horizon, dt, q_traj, qd_traj,
+            )
+        };
+    }
+    rk4_rollout_lanes_impl(
+        model, lws, scratch, q0, qd0, us, horizon, dt, q_traj, qd_traj,
+    )
+}
+
+/// AVX2-compiled clone of [`rk4_rollout_lanes_impl`] (bit-identical;
+/// see [`rnea_lanes_in_ws`]). The whole rollout — stage arithmetic and
+/// the inner lane ABA sweeps — compiles in one AVX2 context, so the
+/// per-call feature dispatch happens once per rollout, not per stage.
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn rk4_rollout_lanes_avx2<const K: usize>(
+    model: &RobotModel,
+    lws: &mut LaneWorkspace<K>,
+    scratch: &mut LaneRolloutScratch,
+    q0: &[f64],
+    qd0: &[f64],
+    us: &[f64],
+    horizon: usize,
+    dt: f64,
+    q_traj: &mut [f64],
+    qd_traj: &mut [f64],
+) -> Result<(), DynamicsError> {
+    rk4_rollout_lanes_impl(
+        model, lws, scratch, q0, qd0, us, horizon, dt, q_traj, qd_traj,
+    )
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rk4_rollout_lanes_impl<const K: usize>(
+    model: &RobotModel,
+    lws: &mut LaneWorkspace<K>,
+    scratch: &mut LaneRolloutScratch,
+    q0: &[f64],
+    qd0: &[f64],
+    us: &[f64],
+    horizon: usize,
+    dt: f64,
+    q_traj: &mut [f64],
+    qd_traj: &mut [f64],
+) -> Result<(), DynamicsError> {
+    let nq = model.nq();
+    let nv = model.nv();
+    let h = dt;
+    assert_eq!(q0.len(), K * nq, "q0 dimension");
+    assert_eq!(qd0.len(), K * nv, "qd0 dimension");
+    assert_eq!(us.len(), K * horizon * nv, "controls dimension");
+    assert_eq!(
+        q_traj.len(),
+        K * (horizon + 1) * nq,
+        "q trajectory dimension"
+    );
+    assert_eq!(
+        qd_traj.len(),
+        K * (horizon + 1) * nv,
+        "qd trajectory dimension"
+    );
+    scratch.ensure_dims(model, K);
+    let LaneRolloutScratch {
+        q_stage,
+        qd_stage,
+        ka,
+        vbar,
+        q_cur,
+        qd_cur,
+        tau_cur,
+    } = scratch;
+    let [qd2, qd3, qd4] = qd_stage;
+    let [k1a, k2a, k3a, k4a] = ka;
+
+    q_cur.copy_from_slice(q0);
+    qd_cur.copy_from_slice(qd0);
+    for l in 0..K {
+        q_traj[l * (horizon + 1) * nq..][..nq].copy_from_slice(&q0[l * nq..(l + 1) * nq]);
+        qd_traj[l * (horizon + 1) * nv..][..nv].copy_from_slice(&qd0[l * nv..(l + 1) * nv]);
+    }
+
+    for step in 0..horizon {
+        for l in 0..K {
+            tau_cur[l * nv..(l + 1) * nv]
+                .copy_from_slice(&us[l * horizon * nv + step * nv..][..nv]);
+        }
+
+        // Stage 1 at (q, q̇).
+        fd_aba_lanes_impl(model, lws, q_cur, qd_cur, tau_cur)?;
+        lws.scatter_qdd(k1a);
+        // Stage 2: q2 = q ⊕ (h/2 q̇), qd2 = qd + h/2 k1a.
+        for (qs, (qc, qdc)) in q_stage
+            .chunks_mut(nq)
+            .zip(q_cur.chunks(nq).zip(qd_cur.chunks(nv)))
+        {
+            integrate_config_into(model, qc, qdc, h / 2.0, qs);
+        }
+        for i in 0..K * nv {
+            qd2[i] = qd_cur[i] + h / 2.0 * k1a[i];
+        }
+        fd_aba_lanes_impl(model, lws, q_stage, qd2, tau_cur)?;
+        lws.scatter_qdd(k2a);
+        // Stage 3.
+        for (qs, (qc, qdc)) in q_stage
+            .chunks_mut(nq)
+            .zip(q_cur.chunks(nq).zip(qd2.chunks(nv)))
+        {
+            integrate_config_into(model, qc, qdc, h / 2.0, qs);
+        }
+        for i in 0..K * nv {
+            qd3[i] = qd_cur[i] + h / 2.0 * k2a[i];
+        }
+        fd_aba_lanes_impl(model, lws, q_stage, qd3, tau_cur)?;
+        lws.scatter_qdd(k3a);
+        // Stage 4.
+        for (qs, (qc, qdc)) in q_stage
+            .chunks_mut(nq)
+            .zip(q_cur.chunks(nq).zip(qd3.chunks(nv)))
+        {
+            integrate_config_into(model, qc, qdc, h, qs);
+        }
+        for i in 0..K * nv {
+            qd4[i] = qd_cur[i] + h * k3a[i];
+        }
+        fd_aba_lanes_impl(model, lws, q_stage, qd4, tau_cur)?;
+        lws.scatter_qdd(k4a);
+
+        // Combine into the next state (same expressions as the scalar
+        // step, elementwise per lane).
+        for i in 0..K * nv {
+            vbar[i] = (qd_cur[i] + 2.0 * qd2[i] + 2.0 * qd3[i] + qd4[i]) / 6.0;
+        }
+        for l in 0..K {
+            let q_next = &mut q_traj[l * (horizon + 1) * nq + (step + 1) * nq..][..nq];
+            integrate_config_into(
+                model,
+                &q_cur[l * nq..(l + 1) * nq],
+                &vbar[l * nv..(l + 1) * nv],
+                h,
+                q_next,
+            );
+        }
+        for i in 0..K * nv {
+            qd4[i] = qd_cur[i] + h / 6.0 * (k1a[i] + 2.0 * k2a[i] + 2.0 * k3a[i] + k4a[i]);
+        }
+        // Advance and record.
+        for l in 0..K {
+            let q_next = &q_traj[l * (horizon + 1) * nq + (step + 1) * nq..][..nq];
+            q_cur[l * nq..(l + 1) * nq].copy_from_slice(q_next);
+            qd_traj[l * (horizon + 1) * nv + (step + 1) * nv..][..nv]
+                .copy_from_slice(&qd4[l * nv..(l + 1) * nv]);
+            qd_cur[l * nv..(l + 1) * nv].copy_from_slice(&qd4[l * nv..(l + 1) * nv]);
+        }
+    }
+    Ok(())
+}

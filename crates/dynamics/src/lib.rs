@@ -85,13 +85,14 @@ pub mod fd;
 pub mod finite_diff;
 pub mod idsva;
 pub mod jacobian;
+pub mod lanes;
 pub mod mminv;
 pub mod momentum;
 mod pool;
 pub mod rnea;
 pub mod workspace;
 
-pub use aba::aba;
+pub use aba::{aba, aba_in_ws};
 pub use batch::{BatchEval, SamplePoint, FLOPS_PER_WORKER};
 pub use crba::{crba, crba_into};
 pub use derivatives::{
@@ -107,6 +108,10 @@ pub use fd::{
 pub use finite_diff::{fd_derivatives_numeric, rnea_derivatives_numeric};
 pub use idsva::rnea_derivatives_idsva_into;
 pub use jacobian::{body_jacobian_world, body_position_world, point_velocity_world};
+pub use lanes::{
+    forward_dynamics_aba_lanes_in_ws, rk4_rollout_into, rk4_rollout_lanes_into, rk4_step_aba_into,
+    rnea_lanes_in_ws, LaneRolloutScratch, LaneWorkspace, RolloutScratch, LANE_WIDTH,
+};
 pub use mminv::{mminv_gen, mminv_gen_into, MMinvOutput};
 pub use momentum::{center_of_mass, spatial_momentum, total_mass};
 pub use rnea::{bias_force, bias_force_in_ws, rnea, rnea_in_ws, rnea_with_gravity_scale};

@@ -32,7 +32,10 @@ pub struct MMinvOutput {
 /// Inverts the SPD joint-space block `d` (`n ≤ 6`) on the stack via
 /// unpivoted LDLᵀ, mirroring `MatN::inverse_spd` (same operation order,
 /// same pivot threshold) so results are bit-identical to the dense path.
-fn invert_spd_small(d: &[[f64; 6]; 6], n: usize) -> Result<[[f64; 6]; 6], FactorizationError> {
+pub(crate) fn invert_spd_small(
+    d: &[[f64; 6]; 6],
+    n: usize,
+) -> Result<[[f64; 6]; 6], FactorizationError> {
     // 1-DOF joints (the overwhelmingly common case) reduce to a scalar
     // reciprocal — identical to what the general path computes for n = 1.
     if n == 1 {

@@ -159,6 +159,10 @@ pub struct DynamicsWorkspace {
     pub mat_scratch_b: MatN,
     /// Right-hand-side / generalized-force scratch, length `nv`.
     pub rhs_scratch: Vec<f64>,
+    /// ABA joint-space bias `u = τ − Sᵀ p^A`, length `nv` (the
+    /// zero-allocation [`crate::aba_in_ws`] keeps its per-joint factors
+    /// in [`Self::u_cols`] / [`Self::d_inv`] and this buffer).
+    pub aba_ub: Vec<f64>,
     /// Constant zero `q̈` used by the bias-force path, length `nv`.
     pub zero_qdd: Vec<f64>,
     /// ΔRNEA output scratch for the ΔFD chain (Eq. 3).
@@ -307,6 +311,7 @@ impl DynamicsWorkspace {
             mat_scratch_a: MatN::zeros(nv, nv),
             mat_scratch_b: MatN::zeros(nv, nv),
             rhs_scratch: vec![0.0; nv],
+            aba_ub: vec![0.0; nv],
             zero_qdd: vec![0.0; nv],
             did_scratch: RneaDerivatives::zeros(nv),
             kin_q: Vec::with_capacity(model.nq()),

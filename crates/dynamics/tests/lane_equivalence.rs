@@ -1,0 +1,265 @@
+//! Pins the K-lane lockstep sweeps **bit-identical** to their scalar
+//! counterparts on every test model (floating base included), at lane
+//! widths 1, 2 and 4, across randomized states: lane `l` of any lane
+//! kernel output must equal the scalar kernel run on lane `l`'s inputs
+//! with `==`, not a tolerance.
+
+use rbd_dynamics::{
+    aba_in_ws, forward_dynamics_aba_lanes_in_ws, lanes::LaneWorkspace, rk4_rollout_into,
+    rk4_rollout_lanes_into, rnea_lanes_in_ws, DynamicsWorkspace, LaneRolloutScratch,
+    RolloutScratch,
+};
+use rbd_model::{random_state, robots, RobotModel};
+
+fn test_models() -> Vec<RobotModel> {
+    vec![
+        robots::iiwa(),
+        robots::hyq(),
+        robots::quadruped_arm(),
+        robots::atlas(),
+        robots::serial_chain(3),
+        robots::random_tree(9, 7),
+    ]
+}
+
+/// Packs `K` random states (seeds `seed0..seed0+K`) into flat
+/// lane-major buffers.
+fn lane_states(model: &RobotModel, k: usize, seed0: u64) -> (Vec<f64>, Vec<f64>) {
+    let (nq, nv) = (model.nq(), model.nv());
+    let mut q = vec![0.0; k * nq];
+    let mut qd = vec![0.0; k * nv];
+    for l in 0..k {
+        let s = random_state(model, seed0 + l as u64);
+        q[l * nq..(l + 1) * nq].copy_from_slice(&s.q);
+        qd[l * nv..(l + 1) * nv].copy_from_slice(&s.qd);
+    }
+    (q, qd)
+}
+
+fn lane_controls(model: &RobotModel, k: usize) -> Vec<f64> {
+    let nv = model.nv();
+    (0..k * nv)
+        .map(|i| 0.4 - 0.03 * (i % nv) as f64 + 0.05 * (i / nv) as f64)
+        .collect()
+}
+
+fn check_rnea_and_fd<const K: usize>(model: &RobotModel) {
+    let (nq, nv) = (model.nq(), model.nv());
+    let (q, qd) = lane_states(model, K, 100);
+    let qdd: Vec<f64> = (0..K * nv).map(|i| 0.2 - 0.01 * i as f64).collect();
+    let tau = lane_controls(model, K);
+
+    let mut lws = LaneWorkspace::<K>::new(model);
+    let mut ws = DynamicsWorkspace::new(model);
+
+    // Inverse dynamics.
+    rnea_lanes_in_ws(model, &mut lws, &q, &qd, &qdd, 1.0);
+    for l in 0..K {
+        rbd_dynamics::rnea_in_ws(
+            model,
+            &mut ws,
+            &q[l * nq..(l + 1) * nq],
+            &qd[l * nv..(l + 1) * nv],
+            &qdd[l * nv..(l + 1) * nv],
+            None,
+            1.0,
+        );
+        for d in 0..nv {
+            assert_eq!(
+                lws.tau_lanes()[d][l],
+                ws.tau[d],
+                "{} RNEA lane {l}/{K} dof {d}",
+                model.name()
+            );
+        }
+    }
+
+    // Forward dynamics (ABA).
+    forward_dynamics_aba_lanes_in_ws(model, &mut lws, &q, &qd, &tau).unwrap();
+    let mut qdd_scalar = vec![0.0; nv];
+    for l in 0..K {
+        aba_in_ws(
+            model,
+            &mut ws,
+            &q[l * nq..(l + 1) * nq],
+            &qd[l * nv..(l + 1) * nv],
+            &tau[l * nv..(l + 1) * nv],
+            None,
+            &mut qdd_scalar,
+        )
+        .unwrap();
+        for d in 0..nv {
+            assert_eq!(
+                lws.qdd_lanes()[d][l],
+                qdd_scalar[d],
+                "{} ABA lane {l}/{K} dof {d}",
+                model.name()
+            );
+        }
+    }
+}
+
+fn check_rollout<const K: usize>(model: &RobotModel) {
+    let (nq, nv) = (model.nq(), model.nv());
+    let horizon = 3;
+    let dt = 0.01;
+    let (q0, qd0) = lane_states(model, K, 200);
+    let us: Vec<f64> = (0..K * horizon * nv)
+        .map(|i| 0.3 - 0.02 * (i % (horizon * nv)) as f64)
+        .collect();
+
+    let mut lws = LaneWorkspace::<K>::new(model);
+    let mut lane_scratch = LaneRolloutScratch::for_model(model, K);
+    let mut q_traj = vec![0.0; K * (horizon + 1) * nq];
+    let mut qd_traj = vec![0.0; K * (horizon + 1) * nv];
+    rk4_rollout_lanes_into(
+        model,
+        &mut lws,
+        &mut lane_scratch,
+        &q0,
+        &qd0,
+        &us,
+        horizon,
+        dt,
+        &mut q_traj,
+        &mut qd_traj,
+    )
+    .unwrap();
+
+    let mut ws = DynamicsWorkspace::new(model);
+    let mut scratch = RolloutScratch::for_model(model);
+    let mut q_ref = vec![0.0; (horizon + 1) * nq];
+    let mut qd_ref = vec![0.0; (horizon + 1) * nv];
+    for l in 0..K {
+        rk4_rollout_into(
+            model,
+            &mut ws,
+            &mut scratch,
+            &q0[l * nq..(l + 1) * nq],
+            &qd0[l * nv..(l + 1) * nv],
+            &us[l * horizon * nv..(l + 1) * horizon * nv],
+            horizon,
+            dt,
+            &mut q_ref,
+            &mut qd_ref,
+        )
+        .unwrap();
+        assert_eq!(
+            &q_traj[l * (horizon + 1) * nq..(l + 1) * (horizon + 1) * nq],
+            &q_ref[..],
+            "{} q trajectory lane {l}/{K}",
+            model.name()
+        );
+        assert_eq!(
+            &qd_traj[l * (horizon + 1) * nv..(l + 1) * (horizon + 1) * nv],
+            &qd_ref[..],
+            "{} qd trajectory lane {l}/{K}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn lane_kernels_bit_identical_to_scalar_all_models() {
+    for model in test_models() {
+        check_rnea_and_fd::<1>(&model);
+        check_rnea_and_fd::<2>(&model);
+        check_rnea_and_fd::<4>(&model);
+    }
+}
+
+#[test]
+fn lane_rollout_bit_identical_to_scalar_all_models() {
+    for model in test_models() {
+        check_rollout::<1>(&model);
+        check_rollout::<2>(&model);
+        check_rollout::<4>(&model);
+    }
+}
+
+#[test]
+fn scalar_rollout_matches_plain_rk4_dynamics() {
+    // The ABA-based rollout must agree with the MMinvGen-based rk4
+    // integrator to numerical tolerance (the two FD formulations agree
+    // to ~1e-8): sanity that the rollout kernel integrates the same
+    // dynamics, not just that lane == scalar.
+    let model = robots::hyq();
+    let mut ws = DynamicsWorkspace::new(&model);
+    let mut scratch = RolloutScratch::for_model(&model);
+    let s = random_state(&model, 5);
+    let nv = model.nv();
+    let horizon = 2;
+    let dt = 0.01;
+    let us: Vec<f64> = (0..horizon * nv).map(|i| 0.2 - 0.01 * i as f64).collect();
+    let mut q_traj = vec![0.0; (horizon + 1) * model.nq()];
+    let mut qd_traj = vec![0.0; (horizon + 1) * nv];
+    rk4_rollout_into(
+        &model,
+        &mut ws,
+        &mut scratch,
+        &s.q,
+        &s.qd,
+        &us,
+        horizon,
+        dt,
+        &mut q_traj,
+        &mut qd_traj,
+    )
+    .unwrap();
+
+    let (mut q, mut qd) = (s.q.clone(), s.qd.clone());
+    for step in 0..horizon {
+        let qdd =
+            rbd_dynamics::forward_dynamics(&model, &mut ws, &q, &qd, &us[step * nv..][..nv], None)
+                .unwrap();
+        // Only check per-step states against the rollout's (the plain
+        // rk4_step uses the same stage arithmetic).
+        let _ = qdd;
+        let (qn, qdn) = rbd_trajopt_free_rk4(&model, &mut ws, &q, &qd, &us[step * nv..][..nv], dt);
+        q = qn;
+        qd = qdn;
+        for (a, b) in q
+            .iter()
+            .zip(&q_traj[(step + 1) * model.nq()..][..model.nq()])
+        {
+            assert!((a - b).abs() < 1e-7, "q step {step}: {a} vs {b}");
+        }
+        for (a, b) in qd.iter().zip(&qd_traj[(step + 1) * nv..][..nv]) {
+            assert!((a - b).abs() < 1e-7, "qd step {step}: {a} vs {b}");
+        }
+    }
+}
+
+/// Minimal local RK4 on the MMinvGen FD path (mirrors
+/// `rbd_trajopt::rk4_step` without the crate dependency).
+fn rbd_trajopt_free_rk4(
+    model: &RobotModel,
+    ws: &mut DynamicsWorkspace,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+    h: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let fd = |ws: &mut DynamicsWorkspace, q: &[f64], qd: &[f64]| {
+        rbd_dynamics::forward_dynamics(model, ws, q, qd, tau, None).expect("fd")
+    };
+    let nv = model.nv();
+    let k1a = fd(ws, q, qd);
+    let q2 = rbd_model::integrate_config(model, q, qd, h / 2.0);
+    let qd2: Vec<f64> = (0..nv).map(|i| qd[i] + h / 2.0 * k1a[i]).collect();
+    let k2a = fd(ws, &q2, &qd2);
+    let q3 = rbd_model::integrate_config(model, q, &qd2, h / 2.0);
+    let qd3: Vec<f64> = (0..nv).map(|i| qd[i] + h / 2.0 * k2a[i]).collect();
+    let k3a = fd(ws, &q3, &qd3);
+    let q4 = rbd_model::integrate_config(model, q, &qd3, h);
+    let qd4: Vec<f64> = (0..nv).map(|i| qd[i] + h * k3a[i]).collect();
+    let k4a = fd(ws, &q4, &qd4);
+    let vbar: Vec<f64> = (0..nv)
+        .map(|i| (qd[i] + 2.0 * qd2[i] + 2.0 * qd3[i] + qd4[i]) / 6.0)
+        .collect();
+    let q_new = rbd_model::integrate_config(model, q, &vbar, h);
+    let qd_new: Vec<f64> = (0..nv)
+        .map(|i| qd[i] + h / 6.0 * (k1a[i] + 2.0 * k2a[i] + 2.0 * k3a[i] + k4a[i]))
+        .collect();
+    (q_new, qd_new)
+}

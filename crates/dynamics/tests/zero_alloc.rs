@@ -169,6 +169,155 @@ fn steady_state_kernels_do_not_allocate() {
 }
 
 #[test]
+fn lane_kernels_do_not_allocate_in_steady_state() {
+    use rbd_dynamics::{
+        aba_in_ws, forward_dynamics_aba_lanes_in_ws, lanes::LaneWorkspace, rk4_rollout_into,
+        rk4_rollout_lanes_into, rnea_lanes_in_ws, LaneRolloutScratch, RolloutScratch,
+    };
+    const K: usize = 4;
+    for model in [robots::iiwa(), robots::atlas()] {
+        let (nq, nv) = (model.nq(), model.nv());
+        let mut ws = DynamicsWorkspace::new(&model);
+        let mut lws = LaneWorkspace::<K>::new(&model);
+        let mut lane_rs = LaneRolloutScratch::for_model(&model, K);
+        let mut scalar_rs = RolloutScratch::for_model(&model);
+        let horizon = 2;
+        let mut q = vec![0.0; K * nq];
+        let mut qd = vec![0.0; K * nv];
+        for l in 0..K {
+            let s = random_state(&model, l as u64);
+            q[l * nq..(l + 1) * nq].copy_from_slice(&s.q);
+            qd[l * nv..(l + 1) * nv].copy_from_slice(&s.qd);
+        }
+        let qdd: Vec<f64> = (0..K * nv).map(|i| 0.1 - 0.002 * i as f64).collect();
+        let tau: Vec<f64> = (0..K * nv).map(|i| 0.3 - 0.004 * i as f64).collect();
+        let us: Vec<f64> = (0..K * horizon * nv)
+            .map(|i| 0.2 - 0.001 * i as f64)
+            .collect();
+        let mut q_traj = vec![0.0; K * (horizon + 1) * nq];
+        let mut qd_traj = vec![0.0; K * (horizon + 1) * nv];
+        let mut qdd_out = vec![0.0; nv];
+
+        // Warm-up: sizes the rollout scratch and the kinematics memo.
+        rnea_lanes_in_ws(&model, &mut lws, &q, &qd, &qdd, 1.0);
+        forward_dynamics_aba_lanes_in_ws(&model, &mut lws, &q, &qd, &tau).unwrap();
+        rk4_rollout_lanes_into(
+            &model,
+            &mut lws,
+            &mut lane_rs,
+            &q,
+            &qd,
+            &us,
+            horizon,
+            0.01,
+            &mut q_traj,
+            &mut qd_traj,
+        )
+        .unwrap();
+        let s0 = random_state(&model, 0);
+        aba_in_ws(
+            &model,
+            &mut ws,
+            &s0.q,
+            &s0.qd,
+            &tau[..nv],
+            None,
+            &mut qdd_out,
+        )
+        .unwrap();
+        let mut q_ref = vec![0.0; (horizon + 1) * nq];
+        let mut qd_ref = vec![0.0; (horizon + 1) * nv];
+        rk4_rollout_into(
+            &model,
+            &mut ws,
+            &mut scalar_rs,
+            &s0.q,
+            &s0.qd,
+            &us[..horizon * nv],
+            horizon,
+            0.01,
+            &mut q_ref,
+            &mut qd_ref,
+        )
+        .unwrap();
+
+        // Steady state: the whole lane sweep family plus the scalar
+        // ABA/rollout references must be allocation-free.
+        let checks: [(&str, u64); 5] = [
+            (
+                "rnea_lanes_in_ws",
+                alloc_count(|| rnea_lanes_in_ws(&model, &mut lws, &q, &qd, &qdd, 1.0)),
+            ),
+            (
+                "forward_dynamics_aba_lanes_in_ws",
+                alloc_count(|| {
+                    forward_dynamics_aba_lanes_in_ws(&model, &mut lws, &q, &qd, &tau).unwrap()
+                }),
+            ),
+            (
+                "rk4_rollout_lanes_into",
+                alloc_count(|| {
+                    rk4_rollout_lanes_into(
+                        &model,
+                        &mut lws,
+                        &mut lane_rs,
+                        &q,
+                        &qd,
+                        &us,
+                        horizon,
+                        0.01,
+                        &mut q_traj,
+                        &mut qd_traj,
+                    )
+                    .unwrap()
+                }),
+            ),
+            (
+                "aba_in_ws",
+                alloc_count(|| {
+                    aba_in_ws(
+                        &model,
+                        &mut ws,
+                        &s0.q,
+                        &s0.qd,
+                        &tau[..nv],
+                        None,
+                        &mut qdd_out,
+                    )
+                    .unwrap()
+                }),
+            ),
+            (
+                "rk4_rollout_into",
+                alloc_count(|| {
+                    rk4_rollout_into(
+                        &model,
+                        &mut ws,
+                        &mut scalar_rs,
+                        &s0.q,
+                        &s0.qd,
+                        &us[..horizon * nv],
+                        horizon,
+                        0.01,
+                        &mut q_ref,
+                        &mut qd_ref,
+                    )
+                    .unwrap()
+                }),
+            ),
+        ];
+        for (name, count) in checks {
+            assert_eq!(
+                count,
+                0,
+                "{name} allocated {count} time(s) in steady state on {}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn single_worker_batch_does_not_allocate_in_steady_state() {
     let model = robots::hyq();
     let nv = model.nv();

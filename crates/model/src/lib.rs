@@ -36,5 +36,7 @@ pub mod tree;
 
 pub use joint::{Joint, JointType};
 pub use robot::{ModelBuilder, RobotModel};
-pub use state::{integrate_config, integrate_config_into, random_state, JointPosition, RobotState};
+pub use state::{
+    integrate_config, integrate_config_into, random_state, JointPosition, RobotState, SplitMix64,
+};
 pub use tree::Topology;

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod inertia;
+pub mod lane;
 pub mod mat3;
 pub mod mat6;
 pub mod matn;
@@ -41,6 +42,9 @@ pub mod vec3;
 pub mod xform;
 
 pub use inertia::{InertiaRate, SpatialInertia};
+pub use lane::{
+    LaneForceVec, LaneMat3, LaneMat6, LaneMotionVec, LaneVec3, LaneXform, DEFAULT_LANE_WIDTH,
+};
 pub use mat3::Mat3;
 pub use mat6::Mat6;
 pub use matn::{MatN, VecN};

@@ -7,6 +7,8 @@
 //! * [`ilqr`] — an iterative LQR trajectory optimizer whose "LQ
 //!   approximation" phase is the batched dynamics+derivatives workload
 //!   the paper profiles in Fig 2c;
+//! * [`mppi`] — sampling-based MPC (MPPI rollouts) on the K-lane
+//!   lockstep rollout kernels, lane groups fanned over the worker pool;
 //! * [`workload`] — the profiled MPC workload generator with its task
 //!   breakdown;
 //! * [`scheduler`] — the Fig 13 pipeline-vs-multithread scheduling model
@@ -15,6 +17,7 @@
 pub mod ilqr;
 pub mod integrator;
 pub mod mpc;
+pub mod mppi;
 pub mod scheduler;
 pub mod workload;
 
@@ -24,6 +27,7 @@ pub use integrator::{
     Rk4SensScratch, StepJacobians,
 };
 pub use mpc::{run_mpc, MpcRun};
+pub use mppi::{profile_mppi_iteration, Mppi, MppiOptions, MppiScratch, MppiStep};
 pub use scheduler::{accel_makespan_cycles, cpu_makespan, ScheduleInputs};
 pub use workload::{
     profile_mpc_iteration, profile_mpc_iteration_threaded, profile_mpc_iteration_with_algo,

@@ -113,6 +113,34 @@ fn rk4_sensitivity_chain_does_not_allocate_in_steady_state() {
 }
 
 #[test]
+fn mppi_iteration_does_not_allocate_in_steady_state() {
+    // The FULL sampling-MPC dispatch chain — Gaussian noise fill,
+    // lane-group pool dispatch, lockstep lane rollouts + scalar
+    // remainder, trajectory scoring and the softmax control blend —
+    // must be allocation-free once the controller is warm, with
+    // multiple workers engaged. 10 samples at lane width 4 exercise two
+    // full lane groups AND the scalar remainder path.
+    use rbd_trajopt::{Mppi, MppiOptions};
+    let model = robots::iiwa();
+    let opts = MppiOptions {
+        samples: 10,
+        horizon: 3,
+        ..Default::default()
+    };
+    let mut mppi = Mppi::with_threads(&model, opts, 4);
+    let q0 = model.neutral_config();
+    let qd0 = vec![0.0; model.nv()];
+
+    // Warm-up sizes every per-executor buffer.
+    mppi.iterate(&q0, &qd0);
+
+    let count = alloc_count(|| {
+        mppi.iterate(&q0, &qd0);
+    });
+    assert_eq!(count, 0, "MPPI iteration allocated {count} time(s)");
+}
+
+#[test]
 fn batched_multi_worker_lq_phase_does_not_allocate_in_steady_state() {
     // The *whole* batched LQ approximation — persistent-pool dispatch,
     // per-executor workspace + Rk4SensScratch slots, the four-stage ΔFD
